@@ -1,0 +1,72 @@
+// Benchmarks regenerating every table and figure of the evaluation
+// (DESIGN.md §3). Each benchmark runs the corresponding experiment
+// and prints its rows on the first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full result set. Set QISA_BENCH_QUICK=1 to run on
+// shrunken corpora (seconds instead of minutes); EXPERIMENTS.md
+// records the full-size numbers.
+package scholarrank_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"scholarrank/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Quick:   os.Getenv("QISA_BENCH_QUICK") == "1",
+		Workers: 1,
+	}
+}
+
+var printOnce sync.Map // experiment id -> struct{}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, printed := printOnce.LoadOrStore(id, struct{}{}); !printed {
+			b.StopTimer()
+			fmt.Println()
+			for _, t := range tables {
+				if err := t.Render(os.Stdout); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkTable1CorpusStats(b *testing.B)    { benchExperiment(b, "T1") }
+func BenchmarkTable2Effectiveness(b *testing.B)  { benchExperiment(b, "T2") }
+func BenchmarkTable3AwardRecall(b *testing.B)    { benchExperiment(b, "T3") }
+func BenchmarkTable4Scalability(b *testing.B)    { benchExperiment(b, "T4") }
+func BenchmarkTable5Ablation(b *testing.B)       { benchExperiment(b, "T5") }
+func BenchmarkTable6EntityRanking(b *testing.B)  { benchExperiment(b, "T6") }
+func BenchmarkTable7Retrieval(b *testing.B)      { benchExperiment(b, "T7") }
+func BenchmarkTable8Variance(b *testing.B)       { benchExperiment(b, "T8") }
+func BenchmarkFigure1DecaySweep(b *testing.B)    { benchExperiment(b, "F1") }
+func BenchmarkFigure2EnsembleSweep(b *testing.B) { benchExperiment(b, "F2") }
+func BenchmarkFigure3Convergence(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkFigure4ColdStart(b *testing.B)     { benchExperiment(b, "F4") }
+func BenchmarkFigure5Sparsity(b *testing.B)      { benchExperiment(b, "F5") }
+func BenchmarkFigure6Parallel(b *testing.B)      { benchExperiment(b, "F6") }
+func BenchmarkFigure7Solver(b *testing.B)        { benchExperiment(b, "F7") }
+func BenchmarkFigure8MetadataNoise(b *testing.B) { benchExperiment(b, "F8") }
+func BenchmarkFigure9FieldNorm(b *testing.B)     { benchExperiment(b, "F9") }

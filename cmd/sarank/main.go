@@ -1,0 +1,133 @@
+// Command sarank ranks a scholarly corpus with any of the implemented
+// algorithms and prints the top articles (and optionally the top
+// authors and venues derived from the article scores).
+//
+// Usage:
+//
+//	sarank -in corpus.jsonl -algo QISA-Rank -k 20
+//	sarank -in corpus.tsv -algo all -k 5
+//	sarank -in corpus.bin -entities
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"scholarrank/internal/cliutil"
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/experiments"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/rank"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sarank: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against the given arguments and streams; it
+// is the testable core of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sarank", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "corpus file (jsonl, tsv or bin); required")
+		format   = fs.String("format", "", "corpus format override")
+		algo     = fs.String("algo", "QISA-Rank", "algorithm, or 'all' ("+cliutil.MethodNames()+")")
+		k        = fs.Int("k", 20, "number of top articles to print")
+		workers  = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
+		entities = fs.Bool("entities", false, "also print top authors and venues (derived from article scores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	store, err := cliutil.LoadCorpus(*in, *format)
+	if err != nil {
+		return err
+	}
+	net := hetnet.Build(store)
+	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",
+		store.NumArticles(), store.NumCitations(), store.NumAuthors(), store.NumVenues())
+
+	var methods []experiments.Method
+	if strings.EqualFold(*algo, "all") {
+		methods = experiments.Methods()
+	} else {
+		m, err := cliutil.MethodByName(*algo)
+		if err != nil {
+			return err
+		}
+		methods = []experiments.Method{m}
+	}
+
+	for _, m := range methods {
+		res, err := m.Run(net, *workers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		fmt.Fprintf(stdout, "\n# %s", m.Name)
+		if res.Stats.Iterations > 0 {
+			fmt.Fprintf(stdout, " (%d iterations, residual %.2e)", res.Stats.Iterations, res.Stats.Residual)
+		}
+		fmt.Fprintln(stdout)
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "rank\tscore\tyear\tkey\ttitle")
+		for pos, i := range rank.TopK(res.Scores, *k) {
+			a := store.Article(corpus.ArticleID(i))
+			title := a.Title
+			if len(title) > 60 {
+				title = title[:57] + "..."
+			}
+			fmt.Fprintf(tw, "%d\t%.6g\t%d\t%s\t%s\n", pos+1, res.Scores[i], a.Year, a.Key, title)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if *entities {
+			if err := printEntities(stdout, store, net, res.Scores, *k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// printEntities derives and prints author and venue rankings from the
+// article scores, using the shrunk mean so single-article entities do
+// not dominate.
+func printEntities(w io.Writer, store *corpus.Store, net *hetnet.Network, scores []float64, k int) error {
+	authors, err := rank.AuthorRank(net, scores, rank.EntityRankOptions{})
+	if err != nil {
+		return fmt.Errorf("author ranking: %w", err)
+	}
+	fmt.Fprintln(w, "\n## top authors")
+	for pos, i := range rank.TopK(authors, k) {
+		a := store.Author(corpus.AuthorID(i))
+		fmt.Fprintf(w, "%3d  %.6g  %s (%d articles)\n",
+			pos+1, authors[i], a.Name, len(net.AuthorArticles(corpus.AuthorID(i))))
+	}
+	venues, err := rank.VenueRank(net, scores, rank.EntityRankOptions{})
+	if err != nil {
+		return fmt.Errorf("venue ranking: %w", err)
+	}
+	fmt.Fprintln(w, "\n## top venues")
+	for pos, i := range rank.TopK(venues, k) {
+		v := store.Venue(corpus.VenueID(i))
+		fmt.Fprintf(w, "%3d  %.6g  %s (%d articles)\n",
+			pos+1, venues[i], v.Name, len(net.VenueArticles(corpus.VenueID(i))))
+	}
+	return nil
+}

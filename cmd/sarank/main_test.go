@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scholarrank/internal/cliutil"
+	"scholarrank/internal/corpus"
+)
+
+// writeTestCorpus creates a small corpus file and returns its path.
+func writeTestCorpus(t *testing.T) string {
+	t.Helper()
+	s := corpus.NewStore()
+	au, _ := s.InternAuthor("au", "Author")
+	v, _ := s.InternVenue("v", "Venue")
+	var ids []corpus.ArticleID
+	for i, year := range []int{1990, 1995, 2000, 2005, 2010} {
+		id, err := s.AddArticle(corpus.ArticleMeta{
+			Key: "p" + string(rune('0'+i)), Title: "Article", Year: year,
+			Venue: v, Authors: []corpus.AuthorID{au},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j++ {
+			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cliutil.WriteCorpus(f, s, cliutil.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleAlgo(t *testing.T) {
+	path := writeTestCorpus(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "CiteCount", "-k", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# CiteCount") {
+		t.Errorf("missing header in %q", got)
+	}
+	// p0 has the most citations (4): it must appear on the rank-1 line.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "1") && !strings.Contains(line, "p0") {
+			t.Errorf("rank-1 line = %q, want p0", line)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "loaded 5 articles") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestRunAllAlgos(t *testing.T) {
+	path := writeTestCorpus(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-algo", "all", "-k", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# CiteCount", "# PageRank", "# QISA-Rank", "# CoRank"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunEntities(t *testing.T) {
+	path := writeTestCorpus(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-entities", "-k", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "## top authors") || !strings.Contains(out.String(), "## top venues") {
+		t.Errorf("entities output missing: %q", out.String())
+	}
+	// JSONL stores keys only, so the reloaded author's name is its key.
+	if !strings.Contains(out.String(), "au (5 articles)") {
+		t.Errorf("author line missing: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{}, &out, &errBuf); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/x.jsonl"}, &out, &errBuf); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTestCorpus(t)
+	if err := run([]string{"-in", path, "-algo", "NoSuchAlgo"}, &out, &errBuf); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-run", "T1", "-quick"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== T1:") || !strings.Contains(got, "T1 finished in") {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRunLowercaseID(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-run", "f3", "-quick"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== F3:") {
+		t.Errorf("lowercase id not accepted: %q", out.String())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-run", "T1", "-quick", "-csv", dir}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "T1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 { // header + 3 corpora
+		t.Errorf("csv lines = %d: %q", len(lines), raw)
+	}
+	if !strings.HasPrefix(lines[0], "corpus,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-run", "T99"}, &out, &errBuf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Command sarserve exposes a ranked corpus over HTTP: the production
+// shape of query-independent ranking, where scores are computed
+// offline and served as a static signal to a search stack.
+//
+// Endpoints:
+//
+//	GET /healthz                 liveness
+//	GET /stats                   corpus + ranking metadata
+//	GET /top?k=20                top-k articles by importance
+//	GET /article?key=p00000001   one article with its score components
+//	GET /compare?a=KEY&b=KEY     relative order of two articles, with
+//	                             the signal breakdown explaining it
+//	GET /authors?k=20            top authors (shrunk-mean aggregation)
+//	GET /venues?k=20             top venues likewise
+//	GET /related?key=KEY&k=10    articles related to KEY (personalised walk)
+//
+// Usage:
+//
+//	sarserve -in corpus.jsonl -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"scholarrank/internal/cliutil"
+	"scholarrank/internal/core"
+	"scholarrank/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sarserve: ")
+
+	var (
+		in     = flag.String("in", "", "corpus file (jsonl or tsv); required")
+		format = flag.String("format", "", "corpus format override")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		log.Fatal("missing -in")
+	}
+
+	store, err := cliutil.LoadCorpus(*in, *format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ranking %d articles...", store.NumArticles())
+	start := time.Now()
+	srv, err := serve.New(store, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ranked in %v; serving on %s", time.Since(start).Round(time.Millisecond), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

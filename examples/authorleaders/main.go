@@ -1,0 +1,81 @@
+// Authorleaders: rank authors and venues, not just articles.
+//
+// Query-independent article scores induce entity rankings: an
+// author's standing is an aggregate of their articles' importance.
+// The aggregation rule matters — summing rewards volume, averaging
+// rewards precision, and the Bayesian-shrunk mean (the default)
+// keeps one-hit authors from topping the list on a single lucky
+// article. Because the corpus is synthetic, the example can also
+// report how well each rule recovers the *planted* author talent.
+//
+// Run with:
+//
+//	go run ./examples/authorleaders
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scholarrank"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := scholarrank.DefaultGeneratorConfig(6000)
+	cfg.Seed = 31
+	gc, err := scholarrank.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := scholarrank.BuildNetwork(gc.Store)
+	scores, err := scholarrank.Rank(net, scholarrank.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rules := []struct {
+		name string
+		agg  scholarrank.EntityAggregate
+	}{
+		{"sum (volume-rewarding)", scholarrank.AggSum},
+		{"mean (volume-neutral)", scholarrank.AggMean},
+		{"shrunk mean (default)", scholarrank.AggShrunkMean},
+	}
+	fmt.Println("author-ranking quality vs planted talent, by aggregation rule:")
+	for _, r := range rules {
+		authors, err := scholarrank.AuthorRank(net, scores.Importance, scholarrank.EntityRankOptions{Aggregate: r.agg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, _, err := scholarrank.PairwiseAccuracy(authors, gc.AuthorTalent, nil, 100_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s pairwise accuracy %.3f\n", r.name, acc)
+	}
+
+	authors, err := scholarrank.AuthorRank(net, scores.Importance, scholarrank.EntityRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop 10 authors (shrunk mean):")
+	for pos, i := range scholarrank.TopK(authors, 10) {
+		a := gc.Store.Author(scholarrank.AuthorID(i))
+		fmt.Printf("  %2d. %-12s score %.4f  articles %d  planted talent %.2f\n",
+			pos+1, a.Name, authors[i],
+			len(net.AuthorArticles(scholarrank.AuthorID(i))), gc.AuthorTalent[i])
+	}
+
+	venues, err := scholarrank.VenueRank(net, scores.Importance, scholarrank.EntityRankOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop 5 venues (shrunk mean):")
+	for pos, i := range scholarrank.TopK(venues, 5) {
+		v := gc.Store.Venue(scholarrank.VenueID(i))
+		fmt.Printf("  %2d. %-10s score %.4f  planted prestige %.2f\n",
+			pos+1, v.Name, venues[i], gc.VenuePrestige[i])
+	}
+}

@@ -1,0 +1,102 @@
+// Trendwatch: separate *established* from *emerging* work.
+//
+// QISA-Rank exposes its component signals, so an application can do
+// more than sort by one number: this example classifies articles by
+// comparing their prestige percentile (long-run standing) with their
+// popularity percentile (current attention) and reports
+//
+//   - classics:  high prestige, high popularity
+//   - dormant:   high prestige, low popularity (citation legacy only)
+//   - trending:  low prestige so far, high popularity (rising work)
+//
+// Run with:
+//
+//	go run ./examples/trendwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scholarrank"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := scholarrank.DefaultGeneratorConfig(6000)
+	cfg.Seed = 7
+	gc, err := scholarrank.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := scholarrank.BuildNetwork(gc.Store)
+	scores, err := scholarrank.Rank(net, scholarrank.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prestigePct := scholarrank.Percentiles(scores.Prestige)
+	popularityPct := scholarrank.Percentiles(scores.Popularity)
+
+	// Classify by the *gap* between the two percentiles: absolute
+	// thresholds are fragile because both signals are citation-driven
+	// and correlated.
+	const top, gap = 0.95, 0.2
+	var classics, dormant, trending []int
+	for i := range prestigePct {
+		p, q := prestigePct[i], popularityPct[i]
+		switch {
+		case p >= top && q >= top:
+			classics = append(classics, i)
+		case p >= 0.9 && p-q >= gap:
+			dormant = append(dormant, i)
+		case q >= 0.9 && q-p >= gap:
+			trending = append(trending, i)
+		}
+	}
+
+	report := func(label string, items []int) {
+		fmt.Printf("\n%s (%d articles; first 5):\n", label, len(items))
+		for n, i := range items {
+			if n == 5 {
+				break
+			}
+			a := gc.Store.Article(scholarrank.ArticleID(i))
+			fmt.Printf("  %s (%d): prestige-pct %.3f, popularity-pct %.3f\n",
+				a.Key, a.Year, prestigePct[i], popularityPct[i])
+		}
+	}
+	report("classics — high prestige, high current attention", classics)
+	report("dormant — high prestige, attention has moved on", dormant)
+	report("trending — attention outrunning citation record", trending)
+
+	fmt.Printf("\nmean publication year: classics %.0f, dormant %.0f, trending %.0f\n",
+		meanYear(gc.Store, classics), meanYear(gc.Store, dormant), meanYear(gc.Store, trending))
+
+	// Sleeping beauties: the citation-dynamics view of the same
+	// phenomenon — articles that slept for years before the field
+	// caught up with them.
+	sleepers, beauties, err := scholarrank.SleepingBeauties(gc.Store, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsleeping beauties (highest beauty coefficient):")
+	for _, i := range sleepers {
+		a := gc.Store.Article(scholarrank.ArticleID(i))
+		b := beauties[i]
+		fmt.Printf("  %s (%d): B=%.1f, woke after %d years, peaked at %d citations/yr\n",
+			a.Key, a.Year, b.Coefficient, b.AwakeningIndex, b.PeakCitations)
+	}
+}
+
+func meanYear(s *scholarrank.Store, items []int) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range items {
+		sum += float64(s.Article(scholarrank.ArticleID(i)).Year)
+	}
+	return sum / float64(len(items))
+}

@@ -1,0 +1,3 @@
+module scholarrank
+
+go 1.22

@@ -1,0 +1,194 @@
+package cliutil
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		path, explicit, want string
+		wantErr              bool
+	}{
+		{"x.jsonl", "", FormatJSONL, false},
+		{"x.ndjson", "", FormatJSONL, false},
+		{"X.TSV", "", FormatTSV, false},
+		{"x.txt", "", FormatTSV, false},
+		{"x.bin", "", FormatBinary, false},
+		{"x.srnk", "", FormatBinary, false},
+		{"x.dat", "", "", true},
+		{"x.bin", "tsv", FormatTSV, false},
+		{"x.jsonl", "tsv", FormatTSV, false}, // explicit wins
+		{"x.jsonl", "xml", "", true},
+	}
+	for _, c := range cases {
+		got, err := DetectFormat(c.path, c.explicit)
+		if c.wantErr {
+			if !errors.Is(err, ErrUnknownFormat) {
+				t.Errorf("DetectFormat(%q,%q) err = %v", c.path, c.explicit, err)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("DetectFormat(%q,%q) = %q, %v; want %q", c.path, c.explicit, got, err, c.want)
+		}
+	}
+}
+
+func tinyStore(t *testing.T) *corpus.Store {
+	t.Helper()
+	s := corpus.NewStore()
+	a, err := s.AddArticle(corpus.ArticleMeta{Key: "a", Year: 2000, Venue: corpus.NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddArticle(corpus.ArticleMeta{Key: "b", Year: 2005, Venue: corpus.NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCitation(b, a); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{FormatJSONL, FormatTSV, FormatBinary} {
+		path := filepath.Join(dir, "c."+format)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCorpus(f, tinyStore(t), format); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadCorpus(path, "")
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if got.NumArticles() != 2 || got.NumCitations() != 1 {
+			t.Errorf("%s: loaded %d articles %d citations", format, got.NumArticles(), got.NumCitations())
+		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl.gz")
+	if err := SaveCorpus(path, "", tinyStore(t)); err != nil {
+		t.Fatal(err)
+	}
+	// The file must actually be gzipped (magic bytes 1f 8b).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("not gzip: % x", raw[:2])
+	}
+	got, err := LoadCorpus(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumArticles() != 2 || got.NumCitations() != 1 {
+		t.Errorf("gz round trip: %d/%d", got.NumArticles(), got.NumCitations())
+	}
+}
+
+func TestGzipFormatDetection(t *testing.T) {
+	for path, want := range map[string]string{
+		"x.jsonl.gz": FormatJSONL,
+		"x.tsv.gz":   FormatTSV,
+		"x.bin.gz":   FormatBinary,
+	} {
+		got, err := DetectFormat(path, "")
+		if err != nil || got != want {
+			t.Errorf("DetectFormat(%q) = %q, %v", path, got, err)
+		}
+	}
+	if _, err := DetectFormat("x.gz", ""); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("bare .gz: %v", err)
+	}
+}
+
+func TestLoadCorpusBadGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(path, ""); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}
+
+func TestLoadCorpusMissingFile(t *testing.T) {
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "nope.jsonl"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCorpusAMiner(t *testing.T) {
+	in := `{"id": "x", "title": "T", "year": 2001, "references": []}`
+	s, err := ReadCorpus(strings.NewReader(in), FormatAMiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 1 {
+		t.Errorf("articles = %d", s.NumArticles())
+	}
+	if got, err := DetectFormat("dump.txt", "aminer"); err != nil || got != FormatAMiner {
+		t.Errorf("explicit aminer: %q, %v", got, err)
+	}
+	// AMiner is read-only.
+	var sb strings.Builder
+	if err := WriteCorpus(&sb, s, FormatAMiner); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("aminer write: %v", err)
+	}
+}
+
+func TestReadCorpusDropsDanglingRefs(t *testing.T) {
+	in := `{"id":"a","year":2010,"refs":["ghost"]}`
+	s, err := ReadCorpus(strings.NewReader(in), FormatJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCitations() != 0 {
+		t.Errorf("citations = %d, want dangling dropped", s.NumCitations())
+	}
+}
+
+func TestWriteCorpusUnknownFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCorpus(&sb, tinyStore(t), "xml"); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ReadCorpus(strings.NewReader(""), "xml"); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("read err = %v", err)
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	m, err := MethodByName("qisa-rank") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "QISA-Rank" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if _, err := MethodByName("nonsense"); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(MethodNames(), "PageRank") {
+		t.Errorf("MethodNames = %q", MethodNames())
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+func TestEngineMatchesRank(t *testing.T) {
+	net := fixture(t)
+	direct, err := Rank(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(net)
+	viaEngine, err := eng.Rank(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxDiff(direct.Importance, viaEngine.Importance); d > 1e-12 {
+		t.Errorf("engine deviates from Rank by %v", d)
+	}
+	if eng.Network() != net {
+		t.Error("Network() identity lost")
+	}
+}
+
+func TestEngineCachesGapTransitions(t *testing.T) {
+	eng := NewEngine(fixture(t))
+	opts := DefaultOptions()
+	if _, err := eng.Rank(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.gapTrans) != 1 {
+		t.Fatalf("gap cache size = %d", len(eng.gapTrans))
+	}
+	first := eng.gapTrans[opts.RhoGap]
+	// Same RhoGap: cache hit.
+	if _, err := eng.Rank(opts); err != nil {
+		t.Fatal(err)
+	}
+	if eng.gapTrans[opts.RhoGap] != first {
+		t.Error("cache rebuilt on identical RhoGap")
+	}
+	// Different RhoGap: new entry.
+	opts.RhoGap = 0.5
+	if _, err := eng.Rank(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.gapTrans) != 2 {
+		t.Errorf("gap cache size = %d after second rho", len(eng.gapTrans))
+	}
+}
+
+func TestEngineZeroGapSharesCitationTransition(t *testing.T) {
+	eng := NewEngine(fixture(t))
+	opts := DefaultOptions()
+	opts.RhoGap = 0
+	if _, err := eng.Rank(opts); err != nil {
+		t.Fatal(err)
+	}
+	if eng.gapTrans[0] != eng.citTrans {
+		t.Error("rho=0 should reuse the citation transition")
+	}
+}
+
+func TestEngineSweepConsistency(t *testing.T) {
+	// Sweeping options through one engine must give the same results
+	// as fresh Rank calls — the cache must be purely an optimisation.
+	net := fixture(t)
+	eng := NewEngine(net)
+	for _, rho := range []float64{0, 0.2, 0.8} {
+		opts := DefaultOptions()
+		opts.RhoRecency = rho
+		fresh, err := Rank(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := eng.Rank(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MaxDiff(fresh.Importance, cached.Importance); d > 1e-12 {
+			t.Errorf("rho=%v: engine deviates by %v", rho, d)
+		}
+	}
+}
+
+func TestEngineWarmStartReducesIterations(t *testing.T) {
+	net := fixture(t)
+	eng := NewEngine(net)
+	opts := DefaultOptions()
+	first, err := eng.Rank(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny parameter nudge: the warm-started second solve must both
+	// match a cold solve and converge in fewer iterations.
+	opts.RhoRecency = 0.75
+	warm, err := eng.Rank(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Rank(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxDiff(warm.Importance, cold.Importance); d > 1e-7 {
+		t.Errorf("warm start changed the fixed point by %v", d)
+	}
+	if warm.PrestigeStats.Iterations >= cold.PrestigeStats.Iterations {
+		t.Errorf("warm start did not save prestige iterations: %d vs %d",
+			warm.PrestigeStats.Iterations, cold.PrestigeStats.Iterations)
+	}
+	_ = first
+}
+
+func TestEngineValidatesOptions(t *testing.T) {
+	eng := NewEngine(fixture(t))
+	opts := DefaultOptions()
+	opts.Damping = 7
+	if _, err := eng.Rank(opts); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestEngineEmptyNetwork(t *testing.T) {
+	eng := NewEngine(hetnet.Build(corpus.NewStore()))
+	sc, err := eng.Rank(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Importance) != 0 {
+		t.Errorf("empty engine scores: %+v", sc)
+	}
+}

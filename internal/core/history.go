@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/eval"
+	"scholarrank/internal/gen"
+	"scholarrank/internal/hetnet"
+)
+
+// ErrBadHistory reports invalid rank-history parameters.
+var ErrBadHistory = errors.New("core: invalid history request")
+
+// Snapshot is the ranking state of one article at one cutoff year.
+type Snapshot struct {
+	// Cutoff is the last visible publication year of this snapshot.
+	Cutoff int
+	// Citations the article had accumulated by the cutoff.
+	Citations int
+	// Importance and Percentile of the article at the cutoff
+	// (percentile 1 = top of the visible corpus).
+	Importance float64
+	Percentile float64
+}
+
+// History is one article's rank trajectory across corpus snapshots.
+type History struct {
+	Key       string
+	Snapshots []Snapshot
+}
+
+// RankHistory replays the corpus at each cutoff year and records the
+// ranking trajectory of the requested articles — the library form of
+// "when would this method have surfaced that paper?". Cutoffs are
+// deduplicated and processed in ascending order; articles not yet
+// published at a cutoff simply have no snapshot there.
+func RankHistory(s *corpus.Store, keys []string, cutoffs []int, opts Options) ([]History, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("%w: no article keys", ErrBadHistory)
+	}
+	if len(cutoffs) == 0 {
+		return nil, fmt.Errorf("%w: no cutoff years", ErrBadHistory)
+	}
+	for _, key := range keys {
+		if _, ok := s.ArticleByKey(key); !ok {
+			return nil, fmt.Errorf("%w: unknown article %q", ErrBadHistory, key)
+		}
+	}
+	years := append([]int(nil), cutoffs...)
+	sort.Ints(years)
+	years = dedupInts(years)
+
+	out := make([]History, len(keys))
+	for i, key := range keys {
+		out[i].Key = key
+	}
+	for _, cutoff := range years {
+		hold, err := gen.SplitByYear(s, cutoff)
+		if err != nil {
+			if errors.Is(err, gen.ErrEmptySplit) {
+				continue // nothing published yet
+			}
+			return nil, err
+		}
+		net := hetnet.Build(hold.Train)
+		scores, err := Rank(net, opts)
+		if err != nil {
+			return nil, err
+		}
+		pct := eval.Percentiles(scores.Importance)
+		in := net.Citations.InDegrees()
+		for i, key := range keys {
+			id, ok := hold.Train.ArticleByKey(key)
+			if !ok {
+				continue // not yet published at this cutoff
+			}
+			out[i].Snapshots = append(out[i].Snapshots, Snapshot{
+				Cutoff:     cutoff,
+				Citations:  in[id],
+				Importance: scores.Importance[id],
+				Percentile: pct[id],
+			})
+		}
+	}
+	return out, nil
+}
+
+func dedupInts(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"scholarrank/internal/gen"
+)
+
+func TestRankHistoryTrajectory(t *testing.T) {
+	cfg := gen.NewDefaultConfig(2000)
+	cfg.Seed = 33
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minY, maxY := c.Store.YearRange()
+	mid := (minY + maxY) / 2
+	// Track the most-cited article overall.
+	in := c.Store.CitationGraph().InDegrees()
+	best := 0
+	for i, d := range in {
+		if d > in[best] {
+			best = i
+		}
+	}
+	key := c.Store.Article(int32(best)).Key
+	bestYear := c.Store.Article(int32(best)).Year
+
+	hist, err := RankHistory(c.Store, []string{key}, []int{mid, maxY, mid, minY - 5}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Key != key {
+		t.Fatalf("histories = %+v", hist)
+	}
+	snaps := hist[0].Snapshots
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	// Snapshots are in ascending cutoff order, deduplicated, and only
+	// include cutoffs at or after publication.
+	for i, sn := range snaps {
+		if sn.Cutoff < bestYear {
+			t.Errorf("snapshot before publication: %+v", sn)
+		}
+		if i > 0 && sn.Cutoff <= snaps[i-1].Cutoff {
+			t.Errorf("cutoffs not strictly ascending: %+v", snaps)
+		}
+		if sn.Percentile < 0 || sn.Percentile > 1 {
+			t.Errorf("percentile %v", sn.Percentile)
+		}
+	}
+	// Citations accumulate monotonically.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Citations < snaps[i-1].Citations {
+			t.Errorf("citations decreased: %+v", snaps)
+		}
+	}
+}
+
+func TestRankHistoryValidation(t *testing.T) {
+	cfg := gen.NewDefaultConfig(500)
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankHistory(c.Store, nil, []int{2000}, DefaultOptions()); !errors.Is(err, ErrBadHistory) {
+		t.Errorf("no keys: %v", err)
+	}
+	if _, err := RankHistory(c.Store, []string{"p00000001"}, nil, DefaultOptions()); !errors.Is(err, ErrBadHistory) {
+		t.Errorf("no cutoffs: %v", err)
+	}
+	if _, err := RankHistory(c.Store, []string{"ghost"}, []int{2000}, DefaultOptions()); !errors.Is(err, ErrBadHistory) {
+		t.Errorf("unknown key: %v", err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	net := fixture(t)
+	sc, err := Rank(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Article 0 (heavily cited) vs article 6 (new, bare).
+	ex, err := sc.Explain(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.A != 0 || ex.B != 6 {
+		t.Errorf("ids = %d,%d", ex.A, ex.B)
+	}
+	if ex.Winner != 0 && ex.Winner != 6 {
+		t.Errorf("winner = %d", ex.Winner)
+	}
+	wantImp := sc.Importance[0] >= sc.Importance[6]
+	if (ex.Winner == 0) != wantImp {
+		t.Errorf("winner %d disagrees with importance %v vs %v", ex.Winner, sc.Importance[0], sc.Importance[6])
+	}
+	if len(ex.Signals) != 3 {
+		t.Fatalf("signals = %d", len(ex.Signals))
+	}
+	// Popularity must favour article 0 (6 is uncited).
+	for _, s := range ex.Signals {
+		if s.Signal == "popularity" && s.Delta <= 0 {
+			t.Errorf("popularity delta = %v, want positive for the cited article", s.Delta)
+		}
+	}
+	if ex.Dominant == "" {
+		t.Error("no dominant signal")
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	net := fixture(t)
+	sc, err := Rank(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Explain(0, 99); !errors.Is(err, ErrBadExplain) {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := sc.Explain(-1, 0); !errors.Is(err, ErrBadExplain) {
+		t.Errorf("negative: %v", err)
+	}
+	if _, err := sc.Explain(2, 2); !errors.Is(err, ErrBadExplain) {
+		t.Errorf("identical: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// aminerRecord mirrors the relevant subset of the AMiner citation
+// dataset schema (v10+ JSON lines): one article object per line with
+// nested venue and author objects and numeric or string ids.
+type aminerRecord struct {
+	ID    json.RawMessage `json:"id"`
+	Title string          `json:"title"`
+	Year  int             `json:"year"`
+	Venue struct {
+		Raw string          `json:"raw"`
+		ID  json.RawMessage `json:"id"`
+	} `json:"venue"`
+	Authors []struct {
+		Name string          `json:"name"`
+		ID   json.RawMessage `json:"id"`
+	} `json:"authors"`
+	References []json.RawMessage `json:"references"`
+}
+
+// rawID normalises AMiner ids, which appear as JSON numbers in some
+// dump versions and strings in others.
+func rawID(raw json.RawMessage) string {
+	s := strings.TrimSpace(string(raw))
+	if s == "" || s == "null" {
+		return ""
+	}
+	if unquoted, err := strconv.Unquote(s); err == nil {
+		return unquoted
+	}
+	return s
+}
+
+// ReadAMinerJSON decodes a corpus from the AMiner citation-dataset
+// JSON-lines schema. It is deliberately lenient, as real dumps are
+// messy: records without an id or a positive year are skipped,
+// authors without names fall back to their ids, citations to articles
+// outside the dump are dropped, self-citations and duplicate records
+// are ignored. It returns the corpus plus counts of skipped records
+// and dropped citations so callers can report data quality.
+func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int, err error) {
+	s = NewStore()
+	type pending struct {
+		from ArticleID
+		refs []string
+	}
+	var todo []pending
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<25)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || raw == "[" || raw == "]" || raw == "," {
+			continue // some dumps wrap lines in a JSON array
+		}
+		raw = strings.TrimSuffix(raw, ",")
+		var rec aminerRecord
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
+		}
+		key := rawID(rec.ID)
+		if key == "" || rec.Year <= 0 {
+			skippedRecords++
+			continue
+		}
+		if _, dup := s.ArticleByKey(key); dup {
+			skippedRecords++
+			continue
+		}
+		venue := NoVenue
+		if venueKey := venueKeyOf(rec); venueKey != "" {
+			v, err := s.InternVenue(venueKey, rec.Venue.Raw)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
+			}
+			venue = v
+		}
+		var authors []AuthorID
+		for _, au := range rec.Authors {
+			authorKey := rawID(au.ID)
+			if authorKey == "" {
+				authorKey = au.Name
+			}
+			if authorKey == "" {
+				continue
+			}
+			a, err := s.InternAuthor(authorKey, au.Name)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
+			}
+			authors = append(authors, a)
+		}
+		id, err := s.AddArticle(ArticleMeta{
+			Key: key, Title: rec.Title, Year: rec.Year,
+			Venue: venue, Authors: authors,
+		})
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
+		}
+		if len(rec.References) > 0 {
+			refs := make([]string, 0, len(rec.References))
+			for _, ref := range rec.References {
+				if rk := rawID(ref); rk != "" {
+					refs = append(refs, rk)
+				}
+			}
+			todo = append(todo, pending{from: id, refs: refs})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, 0, fmt.Errorf("corpus: aminer scan: %w", err)
+	}
+	for _, p := range todo {
+		for _, refKey := range p.refs {
+			to, ok := s.ArticleByKey(refKey)
+			if !ok || to == p.from {
+				droppedCitations++
+				continue
+			}
+			if err := s.AddCitation(p.from, to); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
+	return s, skippedRecords, droppedCitations, nil
+}
+
+// venueKeyOf picks the venue identity: the explicit id when present,
+// otherwise the raw name.
+func venueKeyOf(rec aminerRecord) string {
+	if k := rawID(rec.Venue.ID); k != "" {
+		return k
+	}
+	return strings.TrimSpace(rec.Venue.Raw)
+}

@@ -1,0 +1,94 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+const aminerSample = `{"id": "100", "title": "Foundational Work", "year": 1998, "venue": {"raw": "ICDE"}, "authors": [{"name": "Ada Lovelace", "id": "a1"}], "references": []}
+{"id": "200", "title": "Follow Up", "year": 2005, "venue": {"raw": "ICDE", "id": "v-icde"}, "authors": [{"name": "Grace Hopper", "id": "a2"}, {"name": "Ada Lovelace", "id": "a1"}], "references": ["100", "999"]}
+{"id": 300, "title": "Numeric IDs Happen", "year": 2010, "venue": {"raw": ""}, "authors": [{"name": "", "id": ""}], "references": [100, 200, 300]}
+`
+
+func TestReadAMinerJSON(t *testing.T) {
+	s, skipped, dropped, err := ReadAMinerJSON(strings.NewReader(aminerSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 3 {
+		t.Fatalf("articles = %d", s.NumArticles())
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	// 200 cites 100 (kept) and 999 (dropped). 300 cites 100, 200
+	// (kept) and itself (dropped).
+	if s.NumCitations() != 3 {
+		t.Errorf("citations = %d", s.NumCitations())
+	}
+	if dropped != 2 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	// Author identity comes from ids; names are preserved.
+	id, ok := s.ArticleByKey("200")
+	if !ok {
+		t.Fatal("article 200 missing")
+	}
+	a := s.Article(id)
+	if len(a.Authors) != 2 {
+		t.Fatalf("authors = %d", len(a.Authors))
+	}
+	if s.Author(a.Authors[1]).Name != "Ada Lovelace" {
+		t.Errorf("author name = %q", s.Author(a.Authors[1]).Name)
+	}
+	// Shared author across articles deduplicates by id.
+	first, _ := s.ArticleByKey("100")
+	if s.Article(first).Authors[0] != a.Authors[1] {
+		t.Error("shared author not interned")
+	}
+	// Venue with explicit id uses it; the first record's venue (raw
+	// only) interns under the raw name — two distinct venues here.
+	if s.NumVenues() != 2 {
+		t.Errorf("venues = %d", s.NumVenues())
+	}
+	// Numeric ids and authorless records survive.
+	if _, ok := s.ArticleByKey("300"); !ok {
+		t.Error("numeric-id article missing")
+	}
+}
+
+func TestReadAMinerJSONSkipsBadRecords(t *testing.T) {
+	in := `{"id": "", "title": "no id", "year": 2000}
+{"id": "ok", "title": "fine", "year": 2001}
+{"id": "noyear", "title": "bad year", "year": 0}
+{"id": "ok", "title": "duplicate", "year": 2002}
+`
+	s, skipped, _, err := ReadAMinerJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 1 {
+		t.Errorf("articles = %d", s.NumArticles())
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d", skipped)
+	}
+}
+
+func TestReadAMinerJSONArrayWrapped(t *testing.T) {
+	// Some dump versions ship as a JSON array, one object per line.
+	in := "[\n" + `{"id": "1", "title": "T", "year": 2000},` + "\n" + `{"id": "2", "title": "T2", "year": 2001, "references": ["1"]}` + "\n]\n"
+	s, _, _, err := ReadAMinerJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 2 || s.NumCitations() != 1 {
+		t.Errorf("articles=%d citations=%d", s.NumArticles(), s.NumCitations())
+	}
+}
+
+func TestReadAMinerJSONBadJSON(t *testing.T) {
+	if _, _, _, err := ReadAMinerJSON(strings.NewReader(`{broken`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchStore builds a 10k-article corpus with authors, venues and
+// ~5 citations per article.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s := NewStore()
+	var authors []AuthorID
+	for i := 0; i < 1000; i++ {
+		a, err := s.InternAuthor(fmt.Sprintf("a%04d", i), fmt.Sprintf("Author %d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		authors = append(authors, a)
+	}
+	var venues []VenueID
+	for i := 0; i < 20; i++ {
+		v, err := s.InternVenue(fmt.Sprintf("v%02d", i), fmt.Sprintf("Venue %d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		venues = append(venues, v)
+	}
+	for i := 0; i < 10_000; i++ {
+		_, err := s.AddArticle(ArticleMeta{
+			Key:     fmt.Sprintf("p%06d", i),
+			Title:   "A Reasonably Long Article Title For Benchmarking",
+			Year:    1970 + i%48,
+			Venue:   venues[i%len(venues)],
+			Authors: authors[i%len(authors) : i%len(authors)+1],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 1; i < 10_000; i++ {
+		for r := 1; r <= 5; r++ {
+			ref := ArticleID((i * r * 7919) % i)
+			if ref != ArticleID(i) {
+				_ = s.AddCitation(ArticleID(i), ref)
+			}
+		}
+	}
+	return s
+}
+
+func benchEncoded(b *testing.B, write func(*bytes.Buffer, *Store) error) []byte {
+	b.Helper()
+	s := benchStore(b)
+	var buf bytes.Buffer
+	if err := write(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	s := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReadJSONL(b *testing.B) {
+	raw := benchEncoded(b, func(buf *bytes.Buffer, s *Store) error { return WriteJSONL(buf, s) })
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadJSONL(bytes.NewReader(raw), ReadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadTSV(b *testing.B) {
+	raw := benchEncoded(b, func(buf *bytes.Buffer, s *Store) error { return WriteTSV(buf, s) })
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadTSV(bytes.NewReader(raw), ReadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	raw := benchEncoded(b, func(buf *bytes.Buffer, s *Store) error { return WriteBinary(buf, s) })
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCitationGraph(b *testing.B) {
+	s := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CitationGraph()
+	}
+}

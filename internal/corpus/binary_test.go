@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+	// Names survive the binary format (unlike JSONL/TSV).
+	if got.Author(0).Name != "Alice" {
+		t.Errorf("author name = %q", got.Author(0).Name)
+	}
+	if got.Venue(0).Name != "ICDE" {
+		t.Errorf("venue name = %q", got.Venue(0).Name)
+	}
+}
+
+func TestBinaryEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewStore()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumArticles() != 0 || got.NumAuthors() != 0 {
+		t.Errorf("empty round trip: %d/%d", got.NumArticles(), got.NumAuthors())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTTHEFORMAT")); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ReadBinary(strings.NewReader("SR")); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("short magic err = %v", err)
+	}
+}
+
+func TestBinaryBadVersion(t *testing.T) {
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(binaryMagic)] = 99 // version byte
+	if _, err := ReadBinary(bytes.NewReader(raw)); !errors.Is(err, ErrSnapshotVers) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBinaryCorruptionDetected(t *testing.T) {
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a payload byte (past magic+version, before the CRC).
+	raw[len(raw)/2] ^= 0xFF
+	_, err := ReadBinary(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+	// Either the CRC catches it or the structure fails to parse —
+	// both must map to a snapshot error.
+	if !errors.Is(err, ErrSnapshotCRC) && !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(raw) - 2, len(raw) / 2, 7} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryHostileLengths(t *testing.T) {
+	// Magic + version, then an absurd author-key length claim.
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.WriteByte(binaryVersion)
+	buf.WriteByte(1)                                      // one author
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // huge varint
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("hostile length err = %v", err)
+	}
+}
+
+func TestBinaryLargerCorpus(t *testing.T) {
+	s := NewStore()
+	var auths []AuthorID
+	for i := 0; i < 50; i++ {
+		a, err := s.InternAuthor(strings.Repeat("a", i+1), "Name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths = append(auths, a)
+	}
+	v, _ := s.InternVenue("v", "V")
+	for i := 0; i < 500; i++ {
+		venue := NoVenue
+		if i%3 == 0 {
+			venue = v
+		}
+		_, err := s.AddArticle(ArticleMeta{
+			Key:     strings.Repeat("p", 1+i%7) + string(rune('0'+i%10)) + strings.Repeat("x", i/10),
+			Title:   "Title with unicode ✓ and spaces",
+			Year:    1970 + i%50,
+			Venue:   venue,
+			Authors: auths[i%len(auths) : i%len(auths)+1],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 500; i++ {
+		if err := s.AddCitation(ArticleID(i), ArticleID(i/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+}

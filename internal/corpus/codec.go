@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrUnknownRef reports a citation to an article key that does not
+// appear in the stream.
+var ErrUnknownRef = errors.New("corpus: citation references unknown article")
+
+// articleJSON is the one-article-per-line JSONL wire format. It is a
+// subset of the schema used by public AMiner/MAG dumps.
+type articleJSON struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title,omitempty"`
+	Year    int      `json:"year"`
+	Venue   string   `json:"venue,omitempty"`
+	Authors []string `json:"authors,omitempty"`
+	Refs    []string `json:"refs,omitempty"`
+}
+
+// ReadOptions tunes corpus decoding.
+type ReadOptions struct {
+	// AllowDanglingRefs drops citations to article keys missing from
+	// the stream instead of failing. Real dumps routinely cite work
+	// outside the crawl, so loaders of external data usually set this.
+	AllowDanglingRefs bool
+}
+
+// WriteJSONL streams the corpus to w, one JSON article per line.
+// Author and venue names are represented by their keys.
+func WriteJSONL(w io.Writer, s *Store) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var rec articleJSON
+	var err error
+	s.VisitArticles(func(id ArticleID, a *Article) {
+		if err != nil {
+			return
+		}
+		rec = articleJSON{ID: a.Key, Title: a.Title, Year: a.Year}
+		if a.Venue != NoVenue {
+			rec.Venue = s.Venue(a.Venue).Key
+		}
+		rec.Authors = rec.Authors[:0]
+		for _, au := range a.Authors {
+			rec.Authors = append(rec.Authors, s.Author(au).Key)
+		}
+		rec.Refs = rec.Refs[:0]
+		for _, ref := range a.Refs {
+			rec.Refs = append(rec.Refs, s.Article(ref).Key)
+		}
+		err = enc.Encode(&rec)
+	})
+	if err != nil {
+		return fmt.Errorf("corpus: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a corpus written by WriteJSONL (or any stream in
+// the same schema). Citations may reference articles that appear
+// later in the stream; they are resolved in a second pass.
+func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) {
+	s := NewStore()
+	type pending struct {
+		from ArticleID
+		refs []string
+	}
+	var todo []pending
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec articleJSON
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		venue := NoVenue
+		if rec.Venue != "" {
+			v, err := s.InternVenue(rec.Venue, rec.Venue)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+			}
+			venue = v
+		}
+		authors := make([]AuthorID, 0, len(rec.Authors))
+		for _, ak := range rec.Authors {
+			a, err := s.InternAuthor(ak, ak)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+			}
+			authors = append(authors, a)
+		}
+		id, err := s.AddArticle(ArticleMeta{
+			Key: rec.ID, Title: rec.Title, Year: rec.Year,
+			Venue: venue, Authors: authors,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		if len(rec.Refs) > 0 {
+			todo = append(todo, pending{from: id, refs: rec.Refs})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: scan: %w", err)
+	}
+	for _, p := range todo {
+		for _, key := range p.refs {
+			to, ok := s.ArticleByKey(key)
+			if !ok {
+				if opts.AllowDanglingRefs {
+					continue
+				}
+				return nil, fmt.Errorf("%w: %q cited by %q",
+					ErrUnknownRef, key, s.Article(p.from).Key)
+			}
+			if err := s.AddCitation(p.from, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

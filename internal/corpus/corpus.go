@@ -1,0 +1,269 @@
+// Package corpus models a scholarly corpus: articles with publication
+// years, authors, venues, and the citation relation between articles.
+// It is the in-memory substrate that stands in for bibliographic dumps
+// such as AMiner or the Microsoft Academic Graph, with the same
+// essential schema.
+//
+// A Store interns external string keys into dense int32 indices; all
+// ranking code operates on the dense indices, and the Store is the
+// single owner of the mapping back to keys.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+
+	"scholarrank/internal/graph"
+)
+
+// Dense entity indices. They alias int32 so that graph.NodeID and
+// ArticleID interconvert without casts at every call site.
+type (
+	// ArticleID indexes an article within a Store.
+	ArticleID = int32
+	// AuthorID indexes an author within a Store.
+	AuthorID = int32
+	// VenueID indexes a venue within a Store.
+	VenueID = int32
+)
+
+// NoVenue marks an article without a publication venue.
+const NoVenue VenueID = -1
+
+// Sentinel errors returned by Store mutations.
+var (
+	ErrDuplicateKey = errors.New("corpus: duplicate article key")
+	ErrEmptyKey     = errors.New("corpus: empty key")
+	ErrBadYear      = errors.New("corpus: invalid publication year")
+	ErrBadID        = errors.New("corpus: id out of range")
+	ErrSelfCitation = errors.New("corpus: article cites itself")
+)
+
+// Article is one scholarly article. Refs holds the outgoing citations
+// (articles this one cites) as dense indices.
+type Article struct {
+	Key     string
+	Title   string
+	Year    int
+	Venue   VenueID
+	Authors []AuthorID
+	Refs    []ArticleID
+}
+
+// Author is a distinct article author.
+type Author struct {
+	Key  string
+	Name string
+}
+
+// Venue is a publication venue (journal or conference).
+type Venue struct {
+	Key  string
+	Name string
+}
+
+// Store holds a corpus. The zero value is not usable; call NewStore.
+// A Store is not safe for concurrent mutation; once fully built it is
+// safe for concurrent readers.
+type Store struct {
+	articles    []Article
+	byKey       map[string]ArticleID
+	authors     []Author
+	authorByKey map[string]AuthorID
+	venues      []Venue
+	venueByKey  map[string]VenueID
+	citations   int
+}
+
+// NewStore returns an empty corpus.
+func NewStore() *Store {
+	return &Store{
+		byKey:       make(map[string]ArticleID),
+		authorByKey: make(map[string]AuthorID),
+		venueByKey:  make(map[string]VenueID),
+	}
+}
+
+// NumArticles returns the number of articles.
+func (s *Store) NumArticles() int { return len(s.articles) }
+
+// NumAuthors returns the number of interned authors.
+func (s *Store) NumAuthors() int { return len(s.authors) }
+
+// NumVenues returns the number of interned venues.
+func (s *Store) NumVenues() int { return len(s.venues) }
+
+// NumCitations returns the number of citation edges added (before any
+// deduplication performed by CitationGraph).
+func (s *Store) NumCitations() int { return s.citations }
+
+// InternAuthor returns the AuthorID for key, creating the author on
+// first sight. The name is recorded only on creation.
+func (s *Store) InternAuthor(key, name string) (AuthorID, error) {
+	if key == "" {
+		return 0, ErrEmptyKey
+	}
+	if id, ok := s.authorByKey[key]; ok {
+		return id, nil
+	}
+	id := AuthorID(len(s.authors))
+	s.authors = append(s.authors, Author{Key: key, Name: name})
+	s.authorByKey[key] = id
+	return id, nil
+}
+
+// InternVenue returns the VenueID for key, creating the venue on
+// first sight.
+func (s *Store) InternVenue(key, name string) (VenueID, error) {
+	if key == "" {
+		return 0, ErrEmptyKey
+	}
+	if id, ok := s.venueByKey[key]; ok {
+		return id, nil
+	}
+	id := VenueID(len(s.venues))
+	s.venues = append(s.venues, Venue{Key: key, Name: name})
+	s.venueByKey[key] = id
+	return id, nil
+}
+
+// ArticleMeta describes an article to add. Venue may be NoVenue;
+// Authors may be empty.
+type ArticleMeta struct {
+	Key     string
+	Title   string
+	Year    int
+	Venue   VenueID
+	Authors []AuthorID
+}
+
+// AddArticle appends an article and returns its dense id.
+func (s *Store) AddArticle(m ArticleMeta) (ArticleID, error) {
+	if m.Key == "" {
+		return 0, ErrEmptyKey
+	}
+	if _, ok := s.byKey[m.Key]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateKey, m.Key)
+	}
+	if m.Year <= 0 {
+		return 0, fmt.Errorf("%w: %d for %q", ErrBadYear, m.Year, m.Key)
+	}
+	if m.Venue != NoVenue && (m.Venue < 0 || int(m.Venue) >= len(s.venues)) {
+		return 0, fmt.Errorf("%w: venue %d", ErrBadID, m.Venue)
+	}
+	for _, a := range m.Authors {
+		if a < 0 || int(a) >= len(s.authors) {
+			return 0, fmt.Errorf("%w: author %d", ErrBadID, a)
+		}
+	}
+	id := ArticleID(len(s.articles))
+	s.articles = append(s.articles, Article{
+		Key:     m.Key,
+		Title:   m.Title,
+		Year:    m.Year,
+		Venue:   m.Venue,
+		Authors: append([]AuthorID(nil), m.Authors...),
+	})
+	s.byKey[m.Key] = id
+	return id, nil
+}
+
+// AddCitation records that article from cites article to. Duplicate
+// citations are permitted here and merged when the citation graph is
+// built.
+func (s *Store) AddCitation(from, to ArticleID) error {
+	n := ArticleID(len(s.articles))
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("%w: citation %d->%d with %d articles", ErrBadID, from, to, n)
+	}
+	if from == to {
+		return fmt.Errorf("%w: %q", ErrSelfCitation, s.articles[from].Key)
+	}
+	s.articles[from].Refs = append(s.articles[from].Refs, to)
+	s.citations++
+	return nil
+}
+
+// Article returns the article with the given id. The pointer is into
+// Store-owned storage; callers must not hold it across mutations.
+func (s *Store) Article(id ArticleID) *Article {
+	return &s.articles[id]
+}
+
+// ArticleByKey looks up an article by its external key.
+func (s *Store) ArticleByKey(key string) (ArticleID, bool) {
+	id, ok := s.byKey[key]
+	return id, ok
+}
+
+// Author returns the author record for id.
+func (s *Store) Author(id AuthorID) Author { return s.authors[id] }
+
+// Venue returns the venue record for id.
+func (s *Store) Venue(id VenueID) Venue { return s.venues[id] }
+
+// Years returns the publication year of every article as float64,
+// indexed by ArticleID. The slice is freshly allocated.
+func (s *Store) Years() []float64 {
+	out := make([]float64, len(s.articles))
+	for i := range s.articles {
+		out[i] = float64(s.articles[i].Year)
+	}
+	return out
+}
+
+// YearRange returns the minimum and maximum publication year, or
+// (0, 0) for an empty corpus.
+func (s *Store) YearRange() (minYear, maxYear int) {
+	if len(s.articles) == 0 {
+		return 0, 0
+	}
+	minYear, maxYear = s.articles[0].Year, s.articles[0].Year
+	for i := range s.articles {
+		y := s.articles[i].Year
+		if y < minYear {
+			minYear = y
+		}
+		if y > maxYear {
+			maxYear = y
+		}
+	}
+	return minYear, maxYear
+}
+
+// CitationGraph builds the article citation graph: an edge a->b means
+// article a cites article b. Duplicate citations collapse to a single
+// edge.
+func (s *Store) CitationGraph() *graph.Graph {
+	b := graph.NewBuilder(len(s.articles), false)
+	for i := range s.articles {
+		for _, ref := range s.articles[i].Refs {
+			// Endpoints were validated by AddCitation.
+			_ = b.AddEdge(ArticleID(i), ref)
+		}
+	}
+	return b.Build()
+}
+
+// TemporalViolations counts citations whose cited article is newer
+// than the citing article — metadata errors in real dumps, bugs in a
+// generator. A healthy corpus reports 0.
+func (s *Store) TemporalViolations() int {
+	var n int
+	for i := range s.articles {
+		y := s.articles[i].Year
+		for _, ref := range s.articles[i].Refs {
+			if s.articles[ref].Year > y {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// VisitArticles calls fn for every article in id order.
+func (s *Store) VisitArticles(fn func(id ArticleID, a *Article)) {
+	for i := range s.articles {
+		fn(ArticleID(i), &s.articles[i])
+	}
+}

@@ -1,0 +1,353 @@
+package corpus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildTiny returns a 3-article corpus:
+//
+//	p0 (2000, venue v, authors a,b) <- p1 (2005, author a) <- p2 (2010)
+//	p2 also cites p0.
+func buildTiny(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	a, err := s.InternAuthor("a", "Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.InternAuthor("b", "Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.InternVenue("v", "ICDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := s.AddArticle(ArticleMeta{Key: "p0", Title: "Seminal", Year: 2000, Venue: v, Authors: []AuthorID{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.AddArticle(ArticleMeta{Key: "p1", Year: 2005, Venue: NoVenue, Authors: []AuthorID{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.AddArticle(ArticleMeta{Key: "p2", Year: 2010, Venue: NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]ArticleID{{p1, p0}, {p2, p1}, {p2, p0}} {
+		if err := s.AddCitation(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestStoreCounts(t *testing.T) {
+	s := buildTiny(t)
+	if s.NumArticles() != 3 || s.NumAuthors() != 2 || s.NumVenues() != 1 || s.NumCitations() != 3 {
+		t.Errorf("counts: articles=%d authors=%d venues=%d citations=%d",
+			s.NumArticles(), s.NumAuthors(), s.NumVenues(), s.NumCitations())
+	}
+}
+
+func TestInternIdempotent(t *testing.T) {
+	s := NewStore()
+	a1, _ := s.InternAuthor("x", "X")
+	a2, _ := s.InternAuthor("x", "different name ignored")
+	if a1 != a2 {
+		t.Errorf("intern returned %d then %d", a1, a2)
+	}
+	if s.NumAuthors() != 1 {
+		t.Errorf("NumAuthors = %d", s.NumAuthors())
+	}
+	if s.Author(a1).Name != "X" {
+		t.Errorf("name overwritten: %q", s.Author(a1).Name)
+	}
+}
+
+func TestInternEmptyKey(t *testing.T) {
+	s := NewStore()
+	if _, err := s.InternAuthor("", "n"); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.InternVenue("", "n"); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddArticleValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddArticle(ArticleMeta{Key: "", Year: 2000}); !errors.Is(err, ErrEmptyKey) {
+		t.Errorf("empty key: %v", err)
+	}
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 0}); !errors.Is(err, ErrBadYear) {
+		t.Errorf("year 0: %v", err)
+	}
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: 5}); !errors.Is(err, ErrBadID) {
+		t.Errorf("bad venue: %v", err)
+	}
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: []AuthorID{9}}); !errors.Is(err, ErrBadID) {
+		t.Errorf("bad author: %v", err)
+	}
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue}); err != nil {
+		t.Errorf("valid article rejected: %v", err)
+	}
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2001, Venue: NoVenue}); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestAddArticleCopiesAuthors(t *testing.T) {
+	s := NewStore()
+	a, _ := s.InternAuthor("a", "A")
+	authors := []AuthorID{a}
+	id, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: authors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	authors[0] = 99
+	if s.Article(id).Authors[0] != a {
+		t.Error("AddArticle aliased caller's author slice")
+	}
+}
+
+func TestAddCitationValidation(t *testing.T) {
+	s := buildTiny(t)
+	if err := s.AddCitation(0, 99); !errors.Is(err, ErrBadID) {
+		t.Errorf("out of range: %v", err)
+	}
+	if err := s.AddCitation(-1, 0); !errors.Is(err, ErrBadID) {
+		t.Errorf("negative: %v", err)
+	}
+	if err := s.AddCitation(1, 1); !errors.Is(err, ErrSelfCitation) {
+		t.Errorf("self citation: %v", err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := buildTiny(t)
+	id, ok := s.ArticleByKey("p1")
+	if !ok {
+		t.Fatal("p1 not found")
+	}
+	a := s.Article(id)
+	if a.Year != 2005 || len(a.Authors) != 1 {
+		t.Errorf("p1 = %+v", a)
+	}
+	if _, ok := s.ArticleByKey("nope"); ok {
+		t.Error("found nonexistent key")
+	}
+	if s.Venue(0).Name != "ICDE" {
+		t.Errorf("venue name = %q", s.Venue(0).Name)
+	}
+}
+
+func TestYearsAndRange(t *testing.T) {
+	s := buildTiny(t)
+	ys := s.Years()
+	if len(ys) != 3 || ys[0] != 2000 || ys[2] != 2010 {
+		t.Errorf("Years = %v", ys)
+	}
+	lo, hi := s.YearRange()
+	if lo != 2000 || hi != 2010 {
+		t.Errorf("YearRange = %d..%d", lo, hi)
+	}
+	empty := NewStore()
+	lo, hi = empty.YearRange()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty YearRange = %d..%d", lo, hi)
+	}
+}
+
+func TestCitationGraph(t *testing.T) {
+	s := buildTiny(t)
+	g := s.CitationGraph()
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("graph n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 1) || !g.HasEdge(2, 0) {
+		t.Error("missing citation edges")
+	}
+	// Duplicate citation collapses.
+	if err := s.AddCitation(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g2 := s.CitationGraph(); g2.NumEdges() != 3 {
+		t.Errorf("duplicate not collapsed: m=%d", g2.NumEdges())
+	}
+}
+
+func TestTemporalViolations(t *testing.T) {
+	s := buildTiny(t)
+	if v := s.TemporalViolations(); v != 0 {
+		t.Errorf("violations = %d, want 0", v)
+	}
+	// Make p0 (cited by both) newer than everything.
+	s.Article(0).Year = 2020
+	if v := s.TemporalViolations(); v != 2 {
+		t.Errorf("violations = %d, want 2", v)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := buildTiny(t)
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(sb.String()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	s := buildTiny(t)
+	var sb strings.Builder
+	if err := WriteTSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(strings.NewReader(sb.String()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+}
+
+// assertSameCorpus compares structure (keys, years, venue/author keys,
+// citation sets) between two stores.
+func assertSameCorpus(t *testing.T, want, got *Store) {
+	t.Helper()
+	if got.NumArticles() != want.NumArticles() {
+		t.Fatalf("articles: %d vs %d", got.NumArticles(), want.NumArticles())
+	}
+	if got.NumCitations() != want.NumCitations() {
+		t.Errorf("citations: %d vs %d", got.NumCitations(), want.NumCitations())
+	}
+	want.VisitArticles(func(id ArticleID, wa *Article) {
+		gid, ok := got.ArticleByKey(wa.Key)
+		if !ok {
+			t.Errorf("missing article %q", wa.Key)
+			return
+		}
+		ga := got.Article(gid)
+		if ga.Year != wa.Year {
+			t.Errorf("%q year %d vs %d", wa.Key, ga.Year, wa.Year)
+		}
+		if (ga.Venue == NoVenue) != (wa.Venue == NoVenue) {
+			t.Errorf("%q venue presence differs", wa.Key)
+		} else if wa.Venue != NoVenue && got.Venue(ga.Venue).Key != want.Venue(wa.Venue).Key {
+			t.Errorf("%q venue key differs", wa.Key)
+		}
+		if len(ga.Authors) != len(wa.Authors) {
+			t.Errorf("%q author count %d vs %d", wa.Key, len(ga.Authors), len(wa.Authors))
+		} else {
+			for i := range wa.Authors {
+				if got.Author(ga.Authors[i]).Key != want.Author(wa.Authors[i]).Key {
+					t.Errorf("%q author %d differs", wa.Key, i)
+				}
+			}
+		}
+		if len(ga.Refs) != len(wa.Refs) {
+			t.Errorf("%q ref count %d vs %d", wa.Key, len(ga.Refs), len(wa.Refs))
+		} else {
+			for i := range wa.Refs {
+				if got.Article(ga.Refs[i]).Key != want.Article(wa.Refs[i]).Key {
+					t.Errorf("%q ref %d differs", wa.Key, i)
+				}
+			}
+		}
+	})
+}
+
+func TestReadJSONLForwardRefs(t *testing.T) {
+	// p_new appears before the article it cites.
+	in := `{"id":"new","year":2010,"refs":["old"]}
+{"id":"old","year":2000}`
+	s, err := ReadJSONL(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCitations() != 1 {
+		t.Errorf("citations = %d", s.NumCitations())
+	}
+}
+
+func TestReadJSONLUnknownRef(t *testing.T) {
+	in := `{"id":"a","year":2010,"refs":["ghost"]}`
+	if _, err := ReadJSONL(strings.NewReader(in), ReadOptions{}); !errors.Is(err, ErrUnknownRef) {
+		t.Errorf("strict mode err = %v", err)
+	}
+	s, err := ReadJSONL(strings.NewReader(in), ReadOptions{AllowDanglingRefs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCitations() != 0 {
+		t.Errorf("lenient mode citations = %d", s.NumCitations())
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json"), ReadOptions{}); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"id":"a","year":-3}`), ReadOptions{}); err == nil {
+		t.Error("bad year accepted")
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := "\n{\"id\":\"a\",\"year\":2000}\n\n"
+	s, err := ReadJSONL(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 1 {
+		t.Errorf("articles = %d", s.NumArticles())
+	}
+}
+
+func TestTSVTitleSanitised(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddArticle(ArticleMeta{Key: "k", Title: "bad\ttitle\nhere", Year: 2001, Venue: NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(strings.NewReader(sb.String()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title := got.Article(0).Title; strings.ContainsAny(title, "\t\n") {
+		t.Errorf("title not sanitised: %q", title)
+	}
+}
+
+func TestTSVBadInput(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("only\tthree\tfields"), ReadOptions{}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("k\tnotayear\t\t\t\tT"), ReadOptions{}); err == nil {
+		t.Error("bad year accepted")
+	}
+}
+
+func TestTSVUnknownRef(t *testing.T) {
+	in := "a\t2010\t\t\tghost\tTitle\n"
+	if _, err := ReadTSV(strings.NewReader(in), ReadOptions{}); !errors.Is(err, ErrUnknownRef) {
+		t.Errorf("err = %v", err)
+	}
+	s, err := ReadTSV(strings.NewReader(in), ReadOptions{AllowDanglingRefs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCitations() != 0 {
+		t.Errorf("citations = %d", s.NumCitations())
+	}
+}

@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The codec fuzz tests assert one invariant: arbitrary input must
+// produce either a valid Store or an error — never a panic — and a
+// successfully decoded corpus must re-encode and decode to the same
+// structure.
+
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"id":"a","year":2000}`)
+	f.Add(`{"id":"a","year":2000,"venue":"v","authors":["x","y"],"refs":["b"]}` + "\n" + `{"id":"b","year":1999}`)
+	f.Add(`{"id":"", "year":-1}`)
+	f.Add(`not json at all`)
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadJSONL(strings.NewReader(input), ReadOptions{AllowDanglingRefs: true})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, s); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, err := ReadJSONL(&buf, ReadOptions{})
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.NumArticles() != s.NumArticles() || s2.NumCitations() != s.NumCitations() {
+			t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+				s2.NumArticles(), s2.NumCitations(), s.NumArticles(), s.NumCitations())
+		}
+	})
+}
+
+func FuzzReadTSV(f *testing.F) {
+	f.Add("a\t2000\t\t\t\tTitle\n")
+	f.Add("a\t2000\tv\tx|y\tb\tT\nb\t1999\t\t\t\tT2\n")
+	f.Add("bad row")
+	f.Add("a\tnotyear\t\t\t\tT\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadTSV(strings.NewReader(input), ReadOptions{AllowDanglingRefs: true})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, s); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadTSV(&buf, ReadOptions{}); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a real snapshot plus mutations.
+	s := NewStore()
+	a, _ := s.InternAuthor("a", "A")
+	v, _ := s.InternVenue("v", "V")
+	p0, _ := s.AddArticle(ArticleMeta{Key: "p0", Year: 2000, Venue: v, Authors: []AuthorID{a}})
+	p1, _ := s.AddArticle(ArticleMeta{Key: "p1", Year: 2005, Venue: NoVenue})
+	_ = s.AddCitation(p1, p0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		got, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadBinary(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

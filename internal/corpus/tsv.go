@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The TSV format is a compact alternative to JSONL for large corpora:
+//
+//	key <TAB> year <TAB> venueKey <TAB> author|author|… <TAB> ref|ref|… <TAB> title
+//
+// Empty venue, author and ref fields are allowed. Tabs and newlines
+// inside titles are replaced by spaces on write (titles are display
+// metadata, not identity).
+
+const tsvFields = 6
+
+// WriteTSV streams the corpus to w in the TSV schema above.
+func WriteTSV(w io.Writer, s *Store) error {
+	bw := bufio.NewWriter(w)
+	var sb strings.Builder
+	var err error
+	s.VisitArticles(func(id ArticleID, a *Article) {
+		if err != nil {
+			return
+		}
+		sb.Reset()
+		sb.WriteString(a.Key)
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.Itoa(a.Year))
+		sb.WriteByte('\t')
+		if a.Venue != NoVenue {
+			sb.WriteString(s.Venue(a.Venue).Key)
+		}
+		sb.WriteByte('\t')
+		for i, au := range a.Authors {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(s.Author(au).Key)
+		}
+		sb.WriteByte('\t')
+		for i, ref := range a.Refs {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(s.Article(ref).Key)
+		}
+		sb.WriteByte('\t')
+		sb.WriteString(sanitizeTitle(a.Title))
+		sb.WriteByte('\n')
+		_, err = bw.WriteString(sb.String())
+	})
+	if err != nil {
+		return fmt.Errorf("corpus: write tsv: %w", err)
+	}
+	return bw.Flush()
+}
+
+func sanitizeTitle(t string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '\t', '\n', '\r':
+			return ' '
+		}
+		return r
+	}, t)
+}
+
+// ReadTSV decodes a corpus written by WriteTSV. Forward references
+// are resolved in a second pass, mirroring ReadJSONL.
+func ReadTSV(r io.Reader, opts ReadOptions) (*Store, error) {
+	s := NewStore()
+	type pending struct {
+		from ArticleID
+		refs string
+	}
+	var todo []pending
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		parts := strings.SplitN(raw, "\t", tsvFields)
+		if len(parts) != tsvFields {
+			return nil, fmt.Errorf("corpus: tsv line %d: %d fields, want %d", line, len(parts), tsvFields)
+		}
+		year, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: tsv line %d: year: %w", line, err)
+		}
+		venue := NoVenue
+		if parts[2] != "" {
+			v, err := s.InternVenue(parts[2], parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("corpus: tsv line %d: %w", line, err)
+			}
+			venue = v
+		}
+		var authors []AuthorID
+		if parts[3] != "" {
+			for _, ak := range strings.Split(parts[3], "|") {
+				a, err := s.InternAuthor(ak, ak)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: tsv line %d: %w", line, err)
+				}
+				authors = append(authors, a)
+			}
+		}
+		id, err := s.AddArticle(ArticleMeta{
+			Key: parts[0], Title: parts[5], Year: year,
+			Venue: venue, Authors: authors,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: tsv line %d: %w", line, err)
+		}
+		if parts[4] != "" {
+			todo = append(todo, pending{from: id, refs: parts[4]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: scan tsv: %w", err)
+	}
+	for _, p := range todo {
+		for _, key := range strings.Split(p.refs, "|") {
+			to, ok := s.ArticleByKey(key)
+			if !ok {
+				if opts.AllowDanglingRefs {
+					continue
+				}
+				return nil, fmt.Errorf("%w: %q cited by %q",
+					ErrUnknownRef, key, s.Article(p.from).Key)
+			}
+			if err := s.AddCitation(p.from, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

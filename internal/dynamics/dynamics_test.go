@@ -1,0 +1,143 @@
+package dynamics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/gen"
+)
+
+func TestCitationSeries(t *testing.T) {
+	s := corpus.NewStore()
+	add := func(key string, year int) corpus.ArticleID {
+		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: year, Venue: corpus.NoVenue})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	old := add("old", 2000)
+	mid := add("mid", 2005)
+	young := add("young", 2010)
+	// old is cited in 2005 (offset 5) and twice in 2010 (offset 10).
+	if err := s.AddCitation(mid, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCitation(young, old); err != nil {
+		t.Fatal(err)
+	}
+	// mid is cited in 2010 (offset 5).
+	if err := s.AddCitation(young, mid); err != nil {
+		t.Fatal(err)
+	}
+	series := CitationSeries(s)
+	if len(series[old]) != 11 { // 2000..2010
+		t.Fatalf("old series length = %d", len(series[old]))
+	}
+	if series[old][5] != 1 || series[old][10] != 1 {
+		t.Errorf("old series = %v", series[old])
+	}
+	if series[mid][5] != 1 {
+		t.Errorf("mid series = %v", series[mid])
+	}
+	if len(series[young]) != 1 || series[young][0] != 0 {
+		t.Errorf("young series = %v", series[young])
+	}
+}
+
+func TestBeautyCoefficientClassicShapes(t *testing.T) {
+	// Immediate hit: peak at year 0 -> B = 0 by definition.
+	b, err := BeautyCoefficient([]int{10, 5, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Coefficient != 0 || b.PeakIndex != 0 {
+		t.Errorf("immediate hit B = %+v", b)
+	}
+
+	// Linear growth exactly on the reference line -> B = 0.
+	b, err = BeautyCoefficient([]int{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Coefficient) > 1e-12 {
+		t.Errorf("on-line B = %v, want 0", b.Coefficient)
+	}
+
+	// The classic sleeper: silence for years, then a burst.
+	sleeper, err := BeautyCoefficient([]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleeper.Coefficient <= 5 {
+		t.Errorf("sleeper B = %v, want large", sleeper.Coefficient)
+	}
+	if sleeper.PeakIndex != 9 || sleeper.PeakCitations != 20 {
+		t.Errorf("sleeper peak = %+v", sleeper)
+	}
+	// Awakening is late in the sleep, not at the start.
+	if sleeper.AwakeningIndex < 5 {
+		t.Errorf("awakening = %d, want late", sleeper.AwakeningIndex)
+	}
+
+	// A steady performer has a much smaller B than the sleeper.
+	steady, err := BeautyCoefficient([]int{2, 5, 8, 11, 14, 17, 18, 19, 19, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steady.Coefficient >= sleeper.Coefficient {
+		t.Errorf("steady B %v >= sleeper B %v", steady.Coefficient, sleeper.Coefficient)
+	}
+}
+
+func TestBeautyCoefficientValidation(t *testing.T) {
+	if _, err := BeautyCoefficient(nil); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := BeautyCoefficient([]int{1, -2}); !errors.Is(err, ErrBadSeries) {
+		t.Errorf("negative: %v", err)
+	}
+	b, err := BeautyCoefficient([]int{7})
+	if err != nil || b.Coefficient != 0 {
+		t.Errorf("single year: %+v, %v", b, err)
+	}
+}
+
+func TestSleepingBeautiesOnGeneratedCorpus(t *testing.T) {
+	cfg := gen.NewDefaultConfig(3000)
+	cfg.Seed = 13
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, beauties, err := SleepingBeauties(c.Store, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 || len(beauties) != c.Store.NumArticles() {
+		t.Fatalf("top=%d beauties=%d", len(top), len(beauties))
+	}
+	// Descending coefficients.
+	for i := 1; i < len(top); i++ {
+		if beauties[top[i]].Coefficient > beauties[top[i-1]].Coefficient {
+			t.Errorf("not descending at %d", i)
+		}
+	}
+	// The generator's recency bias makes true sleepers rare but the
+	// top coefficient must at least be positive.
+	if beauties[top[0]].Coefficient <= 0 {
+		t.Errorf("top coefficient = %v", beauties[top[0]].Coefficient)
+	}
+}
+
+func TestTopIndices(t *testing.T) {
+	got := topIndices([]float64{1, 9, 5, 9}, 3)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("topIndices = %v", got)
+	}
+	if got := topIndices([]float64{1}, 5); len(got) != 1 {
+		t.Errorf("clamp failed: %v", got)
+	}
+}

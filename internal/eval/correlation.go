@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau computes Kendall's τ-b rank correlation between two
+// score vectors, with full tie correction, using Knight's
+// O(n log n) algorithm. It returns NaN when either vector is
+// constant (τ-b undefined).
+func KendallTau(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	n := len(a)
+	if n < 2 {
+		return math.NaN(), nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if a[i] != a[j] {
+			return a[i] < a[j]
+		}
+		return b[i] < b[j]
+	})
+
+	// Tie counts: n1 over ties in a, n3 over joint (a,b) ties.
+	var n1, n3 int64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && a[idx[j+1]] == a[idx[i]] {
+			j++
+		}
+		run := int64(j - i + 1)
+		n1 += run * (run - 1) / 2
+		// Joint ties within the a-run.
+		for k := i; k <= j; {
+			l := k
+			for l+1 <= j && b[idx[l+1]] == b[idx[k]] {
+				l++
+			}
+			jr := int64(l - k + 1)
+			n3 += jr * (jr - 1) / 2
+			k = l + 1
+		}
+		i = j + 1
+	}
+
+	// Count discordant pairs as merge-sort exchanges over the b
+	// sequence (pairs tied in a are already b-sorted, so they add no
+	// exchanges).
+	bs := make([]float64, n)
+	for i, id := range idx {
+		bs[i] = b[id]
+	}
+	swaps := mergeCountSwaps(bs)
+
+	// Tie counts n2 over b overall.
+	bSorted := make([]float64, n)
+	copy(bSorted, b)
+	sort.Float64s(bSorted)
+	var n2 int64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && bSorted[j+1] == bSorted[i] {
+			j++
+		}
+		run := int64(j - i + 1)
+		n2 += run * (run - 1) / 2
+		i = j + 1
+	}
+
+	n0 := int64(n) * int64(n-1) / 2
+	num := float64(n0-n1-n2+n3) - 2*float64(swaps)
+	den := math.Sqrt(float64(n0-n1)) * math.Sqrt(float64(n0-n2))
+	if den == 0 {
+		return math.NaN(), nil
+	}
+	return num / den, nil
+}
+
+// mergeCountSwaps counts the minimum number of adjacent exchanges to
+// sort xs ascending (the inversion count, treating equal elements as
+// ordered), destroying xs in the process.
+func mergeCountSwaps(xs []float64) int64 {
+	n := len(xs)
+	buf := make([]float64, n)
+	var swaps int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				break
+			}
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if xs[i] <= xs[j] {
+					buf[k] = xs[i]
+					i++
+				} else {
+					buf[k] = xs[j]
+					j++
+					swaps += int64(mid - i)
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = xs[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = xs[j]
+				j++
+				k++
+			}
+			copy(xs[lo:hi], buf[lo:hi])
+		}
+	}
+	return swaps
+}
+
+// Spearman computes Spearman's ρ: the Pearson correlation of the
+// (tie-averaged) ranks. It returns NaN for constant inputs.
+func Spearman(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) < 2 {
+		return math.NaN(), nil
+	}
+	return pearson(Ranks(a), Ranks(b)), nil
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}

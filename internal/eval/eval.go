@@ -1,0 +1,131 @@
+// Package eval implements the ranking-quality metrics used by the
+// experiment suite: sampled pairwise ordering accuracy, Kendall τ-b,
+// Spearman ρ, NDCG@k, precision/recall@k, average precision, and
+// rank-percentile utilities for the cold-start analysis.
+//
+// Conventions: "scores" are importance values where higher is better;
+// "truth" vectors are ground-truth values (future citations, latent
+// quality) where higher is better.
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrLengthMismatch reports score vectors of different lengths.
+var ErrLengthMismatch = errors.New("eval: length mismatch")
+
+// Order returns item indices sorted by descending score, ties broken
+// by ascending index for determinism.
+func Order(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return scores[idx[a]] > scores[idx[b]]
+	})
+	return idx
+}
+
+// Ranks assigns each item its 1-based rank position under descending
+// score order, averaging ranks across ties (the convention Spearman ρ
+// requires).
+func Ranks(scores []float64) []float64 {
+	n := len(scores)
+	idx := Order(scores)
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Percentiles maps each item's score to its rank percentile in [0, 1],
+// where 1 means best-ranked. Ties share their average percentile.
+func Percentiles(scores []float64) []float64 {
+	n := len(scores)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{1}
+	}
+	ranks := Ranks(scores)
+	out := make([]float64, n)
+	for i, r := range ranks {
+		out[i] = 1 - (r-1)/float64(n-1)
+	}
+	return out
+}
+
+// PairwiseAccuracy estimates the probability that the prediction
+// orders a random pair of items the same way the truth does,
+// considering only pairs the truth distinguishes. Pairs the
+// prediction ties count as half correct. It samples `samples` pairs
+// using rng; if samples <= 0 or exceeds the exact pair count for
+// small inputs, all pairs are evaluated exactly.
+//
+// It returns the accuracy and the number of informative pairs
+// evaluated; accuracy is NaN when no informative pair was found.
+// A nil rng selects a fixed-seed source, so callers that do not care
+// about the sampling stream get deterministic results.
+func PairwiseAccuracy(pred, truth []float64, rng *rand.Rand, samples int) (float64, int, error) {
+	if len(pred) != len(truth) {
+		return 0, 0, ErrLengthMismatch
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	n := len(pred)
+	if n < 2 {
+		return math.NaN(), 0, nil
+	}
+	exactPairs := n * (n - 1) / 2
+	var correct float64
+	var counted int
+	score := func(i, j int) {
+		if truth[i] == truth[j] {
+			return
+		}
+		counted++
+		ti := truth[i] > truth[j]
+		switch {
+		case pred[i] == pred[j]:
+			correct += 0.5
+		case (pred[i] > pred[j]) == ti:
+			correct++
+		}
+	}
+	if samples <= 0 || (n <= 2048 && samples >= exactPairs) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				score(i, j)
+			}
+		}
+	} else {
+		for s := 0; s < samples; s++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			score(i, j)
+		}
+	}
+	if counted == 0 {
+		return math.NaN(), 0, nil
+	}
+	return correct / float64(counted), counted, nil
+}

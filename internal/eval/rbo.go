@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RBO computes rank-biased overlap (Webber, Moffat & Zobel 2010)
+// between the rankings induced by two score vectors: a top-weighted
+// similarity in [0, 1] where the persistence p controls how deep the
+// comparison looks (expected evaluation depth ≈ 1/(1-p)). It uses
+// the extrapolated point estimate RBO_ext over the full (conjoint)
+// rankings, so identical rankings score exactly 1.
+//
+// RBO complements Kendall τ in the experiment suite: τ weighs every
+// pair equally, while RBO focuses on the head of the ranking — the
+// part a search stack actually surfaces.
+func RBO(a, b []float64, p float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("eval: rbo persistence %v not in (0,1)", p)
+	}
+	n := len(a)
+	if n == 0 {
+		return math.NaN(), nil
+	}
+	oa, ob := Order(a), Order(b)
+	seenA := make(map[int]bool, n)
+	seenB := make(map[int]bool, n)
+	var overlap int // |A[:d] ∩ B[:d]|
+	var sum float64
+	pd := 1.0 // p^(d-1)
+	for d := 1; d <= n; d++ {
+		ia, ib := oa[d-1], ob[d-1]
+		if ia == ib {
+			overlap++
+		} else {
+			if seenB[ia] {
+				overlap++
+			}
+			if seenA[ib] {
+				overlap++
+			}
+			seenA[ia] = true
+			seenB[ib] = true
+		}
+		sum += float64(overlap) / float64(d) * pd
+		pd *= p
+	}
+	// Extrapolate the agreement at depth n over the infinite tail:
+	// RBO_ext = (X_n/n)·p^n + (1-p)/p · Σ_{d≤n} (X_d/d)·p^d.
+	// Our sum used p^(d-1), i.e. Σ (X_d/d)·p^(d-1) = (1/p)·Σ (X_d/d)·p^d.
+	xnOverN := float64(overlap) / float64(n)
+	return xnOverN*pd + (1-p)*sum, nil
+}
+
+// PairedBootstrapPValue estimates the one-sided p-value for the
+// hypothesis "method A's per-item metric beats method B's" using a
+// paired bootstrap over the item-wise differences: resample the
+// paired differences with replacement and report the fraction of
+// resamples whose mean is <= 0. Items where either side is NaN are
+// dropped. A nil rng selects a fixed-seed source.
+func PairedBootstrapPValue(a, b []float64, rounds int, rng *rand.Rand) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if rounds <= 0 {
+		return 0, fmt.Errorf("eval: bootstrap rounds %d", rounds)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var diffs []float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		diffs = append(diffs, a[i]-b[i])
+	}
+	if len(diffs) == 0 {
+		return math.NaN(), nil
+	}
+	var atOrBelowZero int
+	for r := 0; r < rounds; r++ {
+		var s float64
+		for i := 0; i < len(diffs); i++ {
+			s += diffs[rng.Intn(len(diffs))]
+		}
+		if s <= 0 {
+			atOrBelowZero++
+		}
+	}
+	return float64(atOrBelowZero) / float64(rounds), nil
+}
+
+// BootstrapMeanCI estimates a two-sided confidence interval for the
+// mean of xs by percentile bootstrap. NaN entries are dropped first.
+// conf is the confidence level (e.g. 0.95); rounds the number of
+// resamples. A nil rng selects a fixed-seed source.
+func BootstrapMeanCI(xs []float64, conf float64, rounds int, rng *rand.Rand) (lo, hi float64, err error) {
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("eval: confidence %v not in (0,1)", conf)
+	}
+	if rounds <= 0 {
+		return 0, 0, fmt.Errorf("eval: bootstrap rounds %d", rounds)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var clean []float64
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN(), math.NaN(), nil
+	}
+	means := make([]float64, rounds)
+	for r := range means {
+		var s float64
+		for i := 0; i < len(clean); i++ {
+			s += clean[rng.Intn(len(clean))]
+		}
+		means[r] = s / float64(len(clean))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	loIdx := int(alpha * float64(rounds))
+	hiIdx := int((1 - alpha) * float64(rounds))
+	if hiIdx >= rounds {
+		hiIdx = rounds - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}

@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRBOIdenticalIsOne(t *testing.T) {
+	a := []float64{5, 4, 3, 2, 1}
+	v, err := RBO(a, a, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Errorf("RBO(self) = %v, want 1", v)
+	}
+}
+
+func TestRBODisjointPrefixesLow(t *testing.T) {
+	// Reversed ranking: prefixes disagree maximally at the top.
+	a := []float64{5, 4, 3, 2, 1}
+	b := []float64{1, 2, 3, 4, 5}
+	v, err := RBO(a, b, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 0.9 {
+		t.Errorf("reversed RBO = %v, want well below 1", v)
+	}
+	same, _ := RBO(a, a, 0.9)
+	if v >= same {
+		t.Errorf("reversed (%v) not below identical (%v)", v, same)
+	}
+}
+
+func TestRBOHeadWeighted(t *testing.T) {
+	// Swapping the two TOP items must hurt more than swapping the two
+	// BOTTOM items.
+	base := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	topSwap := append([]float64(nil), base...)
+	topSwap[0], topSwap[1] = topSwap[1], topSwap[0]
+	botSwap := append([]float64(nil), base...)
+	botSwap[8], botSwap[9] = botSwap[9], botSwap[8]
+	vTop, err := RBO(base, topSwap, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBot, err := RBO(base, botSwap, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vTop >= vBot {
+		t.Errorf("top swap (%v) should score below bottom swap (%v)", vTop, vBot)
+	}
+}
+
+func TestRBOValidation(t *testing.T) {
+	a := []float64{1, 2}
+	if _, err := RBO(a, []float64{1}, 0.9); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	for _, p := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := RBO(a, a, p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	v, err := RBO(nil, nil, 0.9)
+	if err != nil || !math.IsNaN(v) {
+		t.Errorf("empty RBO = %v, %v", v, err)
+	}
+}
+
+func TestRBOInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		v, err := RBO(a, b, 0.7+0.25*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("RBO = %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestPairedBootstrapPValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + 0.1 + 0.05*rng.NormFloat64() // clearly better
+		b[i] = base
+	}
+	p, err := PairedBootstrapPValue(a, b, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("p = %v for a clear win, want ~0", p)
+	}
+	// Reversed: p should be near 1.
+	p, err = PairedBootstrapPValue(b, a, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Errorf("reversed p = %v, want ~1", p)
+	}
+	// Identical: every resample mean is exactly 0 -> p = 1.
+	p, err = PairedBootstrapPValue(a, a, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("self p = %v, want 1", p)
+	}
+}
+
+func TestPairedBootstrapPValueEdgeCases(t *testing.T) {
+	if _, err := PairedBootstrapPValue([]float64{1}, []float64{1, 2}, 10, nil); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	if _, err := PairedBootstrapPValue([]float64{1}, []float64{2}, 0, nil); err == nil {
+		t.Error("rounds 0 accepted")
+	}
+	p, err := PairedBootstrapPValue([]float64{math.NaN()}, []float64{1}, 10, nil)
+	if err != nil || !math.IsNaN(p) {
+		t.Errorf("all-NaN p = %v, %v", p, err)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapMeanCI(xs, 0.95, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("lo %v >= hi %v", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("CI [%v, %v] excludes true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Errorf("CI width %v implausibly wide for n=400, sigma=1", hi-lo)
+	}
+}
+
+func TestBootstrapMeanCIEdgeCases(t *testing.T) {
+	if _, _, err := BootstrapMeanCI([]float64{1}, 0, 100, nil); err == nil {
+		t.Error("conf=0 accepted")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1}, 0.95, 0, nil); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+	lo, hi, err := BootstrapMeanCI([]float64{math.NaN()}, 0.95, 10, nil)
+	if err != nil || !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("all-NaN CI = [%v, %v], %v", lo, hi, err)
+	}
+	// Constant data: degenerate zero-width interval.
+	lo, hi, err = BootstrapMeanCI([]float64{3, 3, 3}, 0.9, 50, nil)
+	if err != nil || lo != 3 || hi != 3 {
+		t.Errorf("constant CI = [%v, %v], %v", lo, hi, err)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"scholarrank/internal/gen"
+)
+
+// Corpus presets. Quick mode shrinks each preset ~25x so tests and
+// smoke runs stay fast; full sizes match DESIGN.md §3.
+const (
+	SizeSmall  = "small"
+	SizeMedium = "medium"
+	SizeLarge  = "large"
+)
+
+func presetArticles(size string, quick bool) (int, error) {
+	full := map[string]int{SizeSmall: 20_000, SizeMedium: 100_000, SizeLarge: 300_000}
+	n, ok := full[size]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown corpus size %q", size)
+	}
+	if quick {
+		n /= 25
+	}
+	return n, nil
+}
+
+var (
+	corpusMu    sync.Mutex
+	corpusCache = map[gen.Config]*gen.Corpus{}
+)
+
+// BuildCorpus generates (or returns the cached) corpus for a preset.
+// Caching matters because several experiments share the medium
+// corpus; the cache key is the full generator config, so quick and
+// full runs never collide.
+func BuildCorpus(size string, opts Options) (*gen.Corpus, error) {
+	n, err := presetArticles(size, opts.Quick)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gen.NewDefaultConfig(n)
+	cfg.Seed += opts.Seed
+	return buildCached(cfg)
+}
+
+// BuildCorpusN generates (or returns the cached) corpus with exactly
+// n articles, for the scalability sweeps.
+func BuildCorpusN(n int, opts Options) (*gen.Corpus, error) {
+	cfg := gen.NewDefaultConfig(n)
+	cfg.Seed += opts.Seed
+	return buildCached(cfg)
+}
+
+func buildCached(cfg gen.Config) (*gen.Corpus, error) {
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if c, ok := corpusCache[cfg]; ok {
+		return c, nil
+	}
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corpusCache[cfg] = c
+	return c, nil
+}
+
+// holdoutCutoff picks the cutoff year at 80% of the corpus timeline,
+// the split every effectiveness experiment uses.
+func holdoutCutoff(c *gen.Corpus) int {
+	minY, maxY := c.Store.YearRange()
+	return minY + (maxY-minY)*8/10
+}

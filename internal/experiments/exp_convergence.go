@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scholarrank/internal/rank"
+	"scholarrank/internal/sparse"
+)
+
+func init() {
+	register(Experiment{ID: "F3", Title: "Convergence of the iterative methods", Run: runConvergence})
+}
+
+// convergenceIters is how many leading iterations the figure reports.
+const convergenceIters = 25
+
+// runConvergence traces the L1 residual of every iterative method on
+// the medium corpus. Expected shape: geometric decay with rate ≈ the
+// damping factor for the damped walks; HITS decays at the spectral
+// gap of the citation graph (typically slower and less regular).
+func runConvergence(opts Options) ([]*Table, error) {
+	ctx, err := prepare(SizeMedium, opts)
+	if err != nil {
+		return nil, err
+	}
+	traceIter := sparse.IterOptions{Tol: 1e-14, MaxIter: convergenceIters, Trace: true}
+
+	type traced struct {
+		name string
+		run  func() (sparse.IterStats, error)
+	}
+	runs := []traced{
+		{"PageRank", func() (sparse.IterStats, error) {
+			r, err := rank.PageRank(ctx.net.Citations, rank.PageRankOptions{Workers: opts.Workers, Iter: traceIter})
+			return r.Stats, err
+		}},
+		{"HITS", func() (sparse.IterStats, error) {
+			r, err := rank.HITSAuthority(ctx.net.Citations, traceIter)
+			return r.Stats, err
+		}},
+		{"CiteRank", func() (sparse.IterStats, error) {
+			r, err := rank.CiteRank(ctx.net.Citations, ctx.net.Years, ctx.net.Now, rank.CiteRankOptions{
+				Rho:      0.38,
+				PageRank: rank.PageRankOptions{Workers: opts.Workers, Iter: traceIter},
+			})
+			return r.Stats, err
+		}},
+		{"FutureRank", func() (sparse.IterStats, error) {
+			o := rank.DefaultFutureRankOptions()
+			o.Workers = opts.Workers
+			o.Iter = traceIter
+			r, err := rank.FutureRank(ctx.net, o)
+			return r.Stats, err
+		}},
+		{"P-Rank", func() (sparse.IterStats, error) {
+			o := rank.DefaultPRankOptions()
+			o.Workers = opts.Workers
+			o.Iter = traceIter
+			r, err := rank.PRank(ctx.net, o)
+			return r.Stats, err
+		}},
+	}
+
+	t := &Table{
+		ID:      "F3",
+		Title:   "L1 residual by iteration (medium corpus)",
+		Columns: []string{"iteration"},
+		Notes:   []string{"damped walks decay geometrically at ≈ the damping factor (0.85)"},
+	}
+	traces := make([][]float64, 0, len(runs))
+	for _, r := range runs {
+		stats, err := r.run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: convergence %s: %w", r.name, err)
+		}
+		t.Columns = append(t.Columns, r.name)
+		traces = append(traces, stats.ResidualTrace)
+	}
+	for i := 0; i < convergenceIters; i++ {
+		row := []any{i + 1}
+		for _, tr := range traces {
+			if i < len(tr) {
+				row = append(row, fmt.Sprintf("%.3e", tr[i]))
+			} else {
+				row = append(row, "converged")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

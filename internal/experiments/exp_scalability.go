@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"time"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/hetnet"
+)
+
+func init() {
+	register(Experiment{ID: "T4", Title: "Scalability with corpus size", Run: runScalability})
+	register(Experiment{ID: "F6", Title: "Throughput vs worker count", Run: runParallel})
+}
+
+func scaleSizes(quick bool) []int {
+	if quick {
+		return []int{1_000, 2_000, 4_000, 8_000}
+	}
+	return []int{25_000, 50_000, 100_000, 200_000}
+}
+
+// runScalability measures full QISA-Rank wall time, stage iteration
+// counts and edge throughput as the corpus grows. The expected shape:
+// time linear in citations, iteration count flat (set by damping and
+// tolerance, not size).
+func runScalability(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID:    "T4",
+		Title: "QISA-Rank scalability",
+		Columns: []string{
+			"articles", "citations", "wall-ms",
+			"prestige-iters", "hetero-iters", "edges/s",
+		},
+		Notes: []string{
+			"wall time excludes corpus generation; single run per size",
+		},
+	}
+	for _, n := range scaleSizes(opts.Quick) {
+		c, err := BuildCorpusN(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		net := hetnet.Build(c.Store)
+		o := core.DefaultOptions()
+		o.Workers = opts.Workers
+		start := time.Now()
+		sc, err := core.Rank(net, o)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		edges := net.Citations.NumEdges()
+		iters := sc.PrestigeStats.Iterations + sc.HeteroStats.Iterations
+		eps := float64(edges*iters) / elapsed.Seconds()
+		t.AddRow(n, edges, float64(elapsed.Milliseconds()),
+			sc.PrestigeStats.Iterations, sc.HeteroStats.Iterations, eps)
+	}
+	return []*Table{t}, nil
+}
+
+// runParallel measures prestige-stage wall time across worker counts
+// on the largest preset. On a single-core host the curve is expected
+// to be flat (documented in EXPERIMENTS.md); on multi-core hosts it
+// shows the mat-vec scaling.
+func runParallel(opts Options) ([]*Table, error) {
+	size := SizeLarge
+	if opts.Quick {
+		size = SizeSmall
+	}
+	c, err := BuildCorpus(size, opts)
+	if err != nil {
+		return nil, err
+	}
+	net := hetnet.Build(c.Store)
+	t := &Table{
+		ID:      "F6",
+		Title:   "QISA-Rank wall time vs workers (" + size + " corpus)",
+		Columns: []string{"workers", "wall-ms", "speedup"},
+		Notes: []string{
+			"speedup relative to 1 worker; flat on single-core hosts",
+		},
+	}
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		o := core.DefaultOptions()
+		o.Workers = w
+		start := time.Now()
+		if _, err := core.Rank(net, o); err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Milliseconds())
+		if w == 1 {
+			base = ms
+		}
+		speedup := 0.0
+		if ms > 0 {
+			speedup = base / ms
+		}
+		t.AddRow(w, ms, speedup)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"scholarrank/internal/graph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T1",
+		Title: "Corpus statistics",
+		Run:   runCorpusStats,
+	})
+}
+
+// runCorpusStats reproduces the dataset-description table: size,
+// citation volume, density and heavy-tail diagnostics for each corpus
+// the suite evaluates on.
+func runCorpusStats(opts Options) ([]*Table, error) {
+	t := &Table{
+		ID:    "T1",
+		Title: "Corpus statistics",
+		Columns: []string{
+			"corpus", "articles", "citations", "authors", "venues",
+			"mean-in", "max-in", "gini-in", "alpha", "dangling",
+		},
+		Notes: []string{
+			"synthetic corpora standing in for AMiner/MAG (see DESIGN.md substitutions)",
+			"alpha: MLE power-law exponent of the in-degree tail (real citation data: ~2-3)",
+		},
+	}
+	for _, size := range []string{SizeSmall, SizeMedium, SizeLarge} {
+		c, err := BuildCorpus(size, opts)
+		if err != nil {
+			return nil, err
+		}
+		g := c.Store.CitationGraph()
+		st := graph.ComputeStats(g)
+		t.AddRow(size, st.Nodes, st.Edges, c.Store.NumAuthors(), c.Store.NumVenues(),
+			st.MeanInDegree, st.MaxInDegree, st.GiniInDegree, st.PowerAlpha, st.Dangling)
+	}
+	return []*Table{t}, nil
+}

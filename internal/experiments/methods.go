@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"scholarrank/internal/core"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/rank"
+	"scholarrank/internal/sparse"
+)
+
+// Method is one ranking algorithm under comparison.
+type Method struct {
+	Name string
+	// Run computes article scores on the visible network.
+	Run func(net *hetnet.Network, workers int) (rank.Result, error)
+}
+
+// evalIter is the iteration budget shared by all compared methods so
+// no algorithm wins by running longer.
+var evalIter = sparse.IterOptions{Tol: 1e-10, MaxIter: 300}
+
+// Methods returns every compared algorithm in presentation order:
+// count-based baselines, flat link analysis, time-aware link
+// analysis, heterogeneous baselines, then QISA-Rank.
+func Methods() []Method {
+	return []Method{
+		{Name: "CiteCount", Run: func(net *hetnet.Network, _ int) (rank.Result, error) {
+			return rank.CiteCount(net.Citations), nil
+		}},
+		{Name: "YearNorm", Run: func(net *hetnet.Network, _ int) (rank.Result, error) {
+			return rank.YearNormCiteCount(net.Citations, net.Years), nil
+		}},
+		{Name: "AgeNorm", Run: func(net *hetnet.Network, _ int) (rank.Result, error) {
+			return rank.AgeNormCiteCount(net.Citations, net.Years, net.Now), nil
+		}},
+		{Name: "PageRank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			return rank.PageRank(net.Citations, rank.PageRankOptions{Workers: workers, Iter: evalIter})
+		}},
+		{Name: "HITS", Run: func(net *hetnet.Network, _ int) (rank.Result, error) {
+			return rank.HITSAuthority(net.Citations, evalIter)
+		}},
+		{Name: "SceasRank", Run: func(net *hetnet.Network, _ int) (rank.Result, error) {
+			return rank.SceasRank(net.Citations, rank.SceasRankOptions{Iter: evalIter})
+		}},
+		{Name: "TimedPR", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			return rank.TimedPageRank(net.Citations, net.Years, net.Now, 0.2,
+				rank.PageRankOptions{Workers: workers, Iter: evalIter})
+		}},
+		{Name: "CiteRank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			return rank.CiteRank(net.Citations, net.Years, net.Now, rank.CiteRankOptions{
+				Rho:      0.38, // the original paper's tau ≈ 2.6 years
+				PageRank: rank.PageRankOptions{Workers: workers, Iter: evalIter},
+			})
+		}},
+		{Name: "FutureRank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			opts := rank.DefaultFutureRankOptions()
+			opts.Workers = workers
+			opts.Iter = evalIter
+			return rank.FutureRank(net, opts)
+		}},
+		{Name: "VW-PageRank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			return rank.VenueWeightedPageRank(net, rank.PageRankOptions{Workers: workers, Iter: evalIter})
+		}},
+		{Name: "CoRank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			r, err := rank.CoRank(net, rank.CoRankOptions{Workers: workers, Iter: evalIter})
+			if err != nil {
+				return rank.Result{}, err
+			}
+			return rank.Result{Scores: r.Articles, Stats: r.Stats}, nil
+		}},
+		{Name: "P-Rank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			opts := rank.DefaultPRankOptions()
+			opts.Workers = workers
+			opts.Iter = evalIter
+			return rank.PRank(net, opts)
+		}},
+		{Name: "QISA-Rank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			opts.Iter = evalIter
+			sc, err := core.Rank(net, opts)
+			if err != nil {
+				return rank.Result{}, err
+			}
+			return rank.Result{Scores: sc.Importance, Stats: sc.PrestigeStats}, nil
+		}},
+	}
+}
+
+// QISAMethodName is the display name of the core algorithm, used by
+// assertions in tests and by EXPERIMENTS.md tooling.
+const QISAMethodName = "QISA-Rank"

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownExperiment reports a lookup of an unregistered id.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// Options tunes a run of the suite.
+type Options struct {
+	// Quick shrinks every corpus so the whole suite finishes in
+	// seconds — used by tests and smoke runs. Full-size corpora
+	// reproduce the recorded EXPERIMENTS.md numbers.
+	Quick bool
+	// Workers sets mat-vec parallelism for all algorithms.
+	Workers int
+	// Seed offsets every generator seed, for variance studies.
+	Seed int64
+}
+
+// Runner executes one experiment and returns its tables.
+type Runner func(opts Options) ([]*Table, error)
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment, tables first then figures,
+// each in numeric order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if a[0] != b[0] {
+			return a[0] == 'T' // tables before figures
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return e, nil
+}

@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"testing"
+)
+
+func BenchmarkGenerate10k(b *testing.B) {
+	cfg := NewDefaultConfig(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitByYear(b *testing.B) {
+	c, err := Generate(NewDefaultConfig(10_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	minY, maxY := c.Store.YearRange()
+	cutoff := minY + (maxY-minY)*8/10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitByYear(c.Store, cutoff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleCitations(b *testing.B) {
+	c, err := Generate(NewDefaultConfig(10_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleCitations(c.Store, 0.5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

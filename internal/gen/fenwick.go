@@ -1,0 +1,66 @@
+package gen
+
+// fenwick is a Fenwick (binary indexed) tree over float64 weights,
+// supporting point updates and sampling an index proportionally to
+// its weight in O(log n). It drives the preferential-attachment
+// citation process: every new citation shifts one article's weight,
+// and every reference draw is a weighted sample over all earlier
+// articles.
+type fenwick struct {
+	tree []float64 // 1-based
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]float64, n+1)}
+}
+
+// add increases the weight at index i (0-based) by delta.
+func (f *fenwick) add(i int, delta float64) {
+	for j := i + 1; j < len(f.tree); j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// total returns the sum of all weights.
+func (f *fenwick) total() float64 {
+	n := len(f.tree) - 1
+	var s float64
+	for j := n; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// prefix returns the sum of weights at indices [0, i].
+func (f *fenwick) prefix(i int) float64 {
+	var s float64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// search returns the smallest 0-based index i such that
+// prefix(i) > u. The caller guarantees 0 <= u < total(); if float
+// error pushes u past the last positive weight, the last index is
+// returned.
+func (f *fenwick) search(u float64) int {
+	n := len(f.tree) - 1
+	pos := 0
+	// Highest power of two <= n.
+	bit := 1
+	for bit<<1 <= n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= n && f.tree[next] <= u {
+			u -= f.tree[next]
+			pos = next
+		}
+	}
+	if pos >= n {
+		pos = n - 1
+	}
+	return pos
+}

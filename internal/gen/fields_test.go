@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+func fieldConfig() Config {
+	cfg := NewDefaultConfig(4000)
+	cfg.Seed = 21
+	cfg.Fields = 4
+	cfg.FieldBias = 0.85
+	cfg.FieldDensitySpread = 2
+	return cfg
+}
+
+func TestGenerateFieldsAssigned(t *testing.T) {
+	c, err := Generate(fieldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Field) != c.Store.NumArticles() {
+		t.Fatalf("Field length = %d", len(c.Field))
+	}
+	counts := make([]int, 4)
+	for _, f := range c.Field {
+		if f < 0 || f >= 4 {
+			t.Fatalf("field %d out of range", f)
+		}
+		counts[f]++
+	}
+	for f, n := range counts {
+		if n == 0 {
+			t.Errorf("field %d empty", f)
+		}
+	}
+	// Venue fields round-robin over the field count.
+	for v, f := range c.VenueField {
+		if f != v%4 {
+			t.Fatalf("venue %d field = %d", v, f)
+		}
+	}
+	// Article field equals its venue's field.
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if a.Venue == corpus.NoVenue {
+			return
+		}
+		if c.Field[id] != c.VenueField[a.Venue] {
+			t.Fatalf("article %d field %d != venue field %d", id, c.Field[id], c.VenueField[a.Venue])
+		}
+	})
+}
+
+func TestGenerateFieldBias(t *testing.T) {
+	c, err := Generate(fieldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, total int
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		for _, ref := range a.Refs {
+			total++
+			if c.Field[id] == c.Field[ref] {
+				intra++
+			}
+		}
+	})
+	if total == 0 {
+		t.Fatal("no citations")
+	}
+	frac := float64(intra) / float64(total)
+	// With bias 0.85 plus chance hits from the unbiased draws, the
+	// intra-field fraction should be clearly above the ~30% a random
+	// process would give (fields are unequal sizes) and below 1.
+	if frac < 0.7 || frac >= 1 {
+		t.Errorf("intra-field citation fraction = %v", frac)
+	}
+}
+
+func TestGenerateFieldDensitySpread(t *testing.T) {
+	c, err := Generate(fieldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-degree per field must increase with the field index (the
+	// reference multiplier is increasing).
+	refSums := make([]float64, 4)
+	refCounts := make([]int, 4)
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		f := c.Field[id]
+		refSums[f] += float64(len(a.Refs))
+		refCounts[f]++
+	})
+	first := refSums[0] / float64(refCounts[0])
+	last := refSums[3] / float64(refCounts[3])
+	if last < 2*first {
+		t.Errorf("density spread missing: field0 %.1f refs vs field3 %.1f", first, last)
+	}
+}
+
+func TestGenerateSingleFieldUnchanged(t *testing.T) {
+	// The Fields feature must not disturb the rng stream of
+	// single-field corpora: the default config with the same seed
+	// must keep producing the exact same corpus as before.
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range a.Field {
+		if f != 0 {
+			t.Fatal("single-field corpus has non-zero field")
+		}
+	}
+	// Spot-check stability of the citation structure against itself
+	// under a second generation (determinism) — the cross-version
+	// guarantee is covered by the recorded experiment numbers.
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.NumCitations() != b.Store.NumCitations() {
+		t.Fatalf("citations differ: %d vs %d", a.Store.NumCitations(), b.Store.NumCitations())
+	}
+}
+
+func TestGenerateFieldValidation(t *testing.T) {
+	cfg := fieldConfig()
+	cfg.Fields = -1
+	if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative fields: %v", err)
+	}
+	cfg = fieldConfig()
+	cfg.FieldBias = 1.5
+	if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bias 1.5: %v", err)
+	}
+	cfg = fieldConfig()
+	cfg.FieldDensitySpread = -1
+	if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative spread: %v", err)
+	}
+	// Fields = 0 or 1 with any bias is fine (bias unused).
+	cfg = fieldConfig()
+	cfg.Fields = 1
+	cfg.FieldBias = 7
+	if _, err := Generate(cfg); err != nil {
+		t.Errorf("single field with odd bias rejected: %v", err)
+	}
+}

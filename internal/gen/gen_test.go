@@ -1,0 +1,375 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/graph"
+)
+
+func smallConfig() Config {
+	cfg := NewDefaultConfig(3000)
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestGenerateBasics(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Store
+	if s.NumArticles() != 3000 {
+		t.Fatalf("articles = %d", s.NumArticles())
+	}
+	if s.NumCitations() == 0 {
+		t.Fatal("no citations generated")
+	}
+	if len(c.Quality) != 3000 {
+		t.Fatalf("quality length = %d", len(c.Quality))
+	}
+	for i, q := range c.Quality {
+		if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("quality[%d] = %v", i, q)
+		}
+	}
+	if v := s.TemporalViolations(); v != 0 {
+		t.Errorf("temporal violations = %d", v)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.NumCitations() != b.Store.NumCitations() {
+		t.Fatalf("citation counts differ: %d vs %d", a.Store.NumCitations(), b.Store.NumCitations())
+	}
+	for i := 0; i < a.Store.NumArticles(); i++ {
+		aa := a.Store.Article(corpus.ArticleID(i))
+		ba := b.Store.Article(corpus.ArticleID(i))
+		if aa.Year != ba.Year || len(aa.Refs) != len(ba.Refs) {
+			t.Fatalf("article %d differs: %+v vs %+v", i, aa, ba)
+		}
+		for j := range aa.Refs {
+			if aa.Refs[j] != ba.Refs[j] {
+				t.Fatalf("article %d ref %d differs", i, j)
+			}
+		}
+		if a.Quality[i] != b.Quality[i] {
+			t.Fatalf("quality %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 43
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Store.NumArticles() && same; i++ {
+		if len(a.Store.Article(corpus.ArticleID(i)).Refs) != len(b.Store.Article(corpus.ArticleID(i)).Refs) {
+			same = false
+		}
+	}
+	if same && a.Store.NumCitations() == b.Store.NumCitations() {
+		t.Error("different seeds produced identical citation structure")
+	}
+}
+
+func TestGenerateRefsPointBackward(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		for _, ref := range a.Refs {
+			if ref >= id {
+				t.Fatalf("article %d cites %d (not earlier)", id, ref)
+			}
+		}
+	})
+}
+
+func TestGeneratePowerLawTail(t *testing.T) {
+	cfg := NewDefaultConfig(20000)
+	cfg.Seed = 7
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Store.CitationGraph()
+	st := graph.ComputeStats(g)
+	if st.PowerAlpha == 0 {
+		t.Fatal("no power-law tail fit possible")
+	}
+	// Preferential attachment should land in the empirically observed
+	// citation-exponent band (roughly 1.5–3.5).
+	if st.PowerAlpha < 1.5 || st.PowerAlpha > 3.5 {
+		t.Errorf("alpha = %v outside [1.5, 3.5]", st.PowerAlpha)
+	}
+	if st.GiniInDegree < 0.4 {
+		t.Errorf("in-degree gini = %v, want concentrated (>0.4)", st.GiniInDegree)
+	}
+}
+
+func TestGenerateQualityDrivesCitations(t *testing.T) {
+	// Articles in the top quality decile must on average collect more
+	// citations than the bottom decile (among old articles, where age
+	// is comparable).
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.Store.CitationGraph().InDegrees()
+	n := c.Store.NumArticles()
+	old := n / 2 // first half of the timeline
+	var hiSum, loSum float64
+	var hiN, loN int
+	// Median quality among old articles as the split point.
+	var qs []float64
+	for i := 0; i < old; i++ {
+		qs = append(qs, c.Quality[i])
+	}
+	med := median(qs)
+	for i := 0; i < old; i++ {
+		if c.Quality[i] >= med {
+			hiSum += float64(in[i])
+			hiN++
+		} else {
+			loSum += float64(in[i])
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatal("degenerate split")
+	}
+	if hiSum/float64(hiN) <= loSum/float64(loN) {
+		t.Errorf("high-quality mean cites %v <= low-quality %v",
+			hiSum/float64(hiN), loSum/float64(loN))
+	}
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Articles = 0 },
+		func(c *Config) { c.EndYear = c.StartYear - 1 },
+		func(c *Config) { c.MeanRefs = -1 },
+		func(c *Config) { c.Authors = 0 },
+		func(c *Config) { c.AuthorsPerArticle = 0.5 },
+		func(c *Config) { c.Venues = 0 },
+		func(c *Config) { c.PrefAttach = -1 },
+		func(c *Config) { c.Skew = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(poisson(rng, 4))
+	}
+	mean := sum / trials
+	if math.Abs(mean-4) > 0.15 {
+		t.Errorf("poisson mean = %v, want ≈4", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -2) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestZipfPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 100
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		j := zipfPick(rng, n, 1.1)
+		if j < 0 || j >= n {
+			t.Fatalf("out of range: %d", j)
+		}
+		counts[j]++
+	}
+	if counts[0] <= counts[n-1] {
+		t.Errorf("no skew: first=%d last=%d", counts[0], counts[n-1])
+	}
+	if zipfPick(rng, 1, 1.1) != 0 {
+		t.Error("n=1 must return 0")
+	}
+	// skew 0 is uniform-ish.
+	u := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		u[zipfPick(rng, 4, 0)]++
+	}
+	for i, c := range u {
+		if c < 1600 || c > 2400 {
+			t.Errorf("uniform bucket %d = %d", i, c)
+		}
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(5)
+	weights := []float64{1, 0, 3, 2, 4}
+	for i, w := range weights {
+		f.add(i, w)
+	}
+	if tot := f.total(); tot != 10 {
+		t.Fatalf("total = %v", tot)
+	}
+	if p := f.prefix(2); p != 4 {
+		t.Errorf("prefix(2) = %v", p)
+	}
+	// search: u in [0,1) -> 0; [1,4) -> 2; [4,6) -> 3; [6,10) -> 4.
+	cases := map[float64]int{0: 0, 0.5: 0, 1: 2, 3.9: 2, 4: 3, 5.9: 3, 6: 4, 9.9: 4}
+	for u, want := range cases {
+		if got := f.search(u); got != want {
+			t.Errorf("search(%v) = %d, want %d", u, got, want)
+		}
+	}
+	// Update and re-check.
+	f.add(1, 5) // weights now 1,5,3,2,4
+	if got := f.search(1.5); got != 1 {
+		t.Errorf("after update search(1.5) = %d, want 1", got)
+	}
+	// Past-total clamps to last index.
+	if got := f.search(1e9); got != 4 {
+		t.Errorf("overflow search = %d", got)
+	}
+}
+
+func TestSplitByYear(t *testing.T) {
+	cfg := smallConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minY, maxY := c.Store.YearRange()
+	cutoff := minY + (maxY-minY)*8/10
+	h, err := SplitByYear(c.Store, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Train.NumArticles() == 0 || h.Train.NumArticles() >= c.Store.NumArticles() {
+		t.Fatalf("train size = %d of %d", h.Train.NumArticles(), c.Store.NumArticles())
+	}
+	// Every train article is from on or before the cutoff.
+	h.Train.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if a.Year > cutoff {
+			t.Fatalf("train article %q from %d > cutoff %d", a.Key, a.Year, cutoff)
+		}
+	})
+	// Future citations must be non-trivial and only for train articles.
+	if len(h.FutureCites) != h.Train.NumArticles() {
+		t.Fatalf("FutureCites length %d", len(h.FutureCites))
+	}
+	var totalFuture float64
+	for _, f := range h.FutureCites {
+		totalFuture += f
+	}
+	if totalFuture == 0 {
+		t.Error("no future citations at all")
+	}
+	// Conservation: visible + future + (post-cutoff internal) = all.
+	visible := h.Train.NumCitations()
+	if visible >= c.Store.NumCitations() {
+		t.Errorf("train has %d citations, full %d", visible, c.Store.NumCitations())
+	}
+	// MapToTrain aligns quality with train ids.
+	q := h.MapToTrain(c.Quality)
+	if len(q) != h.Train.NumArticles() {
+		t.Fatalf("mapped quality length %d", len(q))
+	}
+	tid, ok := h.Train.ArticleByKey(c.Store.Article(h.FullID[0]).Key)
+	if !ok || tid != 0 {
+		t.Errorf("FullID[0] does not map back to train id 0")
+	}
+	if q[0] != c.Quality[h.FullID[0]] {
+		t.Errorf("mapped quality mismatch")
+	}
+}
+
+func TestSplitByYearEmpty(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SplitByYear(c.Store, 1000); !errors.Is(err, ErrEmptySplit) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSampleCitations(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	half, err := SampleCitations(c.Store, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumArticles() != c.Store.NumArticles() {
+		t.Errorf("article count changed: %d", half.NumArticles())
+	}
+	ratio := float64(half.NumCitations()) / float64(c.Store.NumCitations())
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("kept ratio = %v, want ≈0.5", ratio)
+	}
+	// Article ids must be stable (same keys in same order).
+	for i := 0; i < 100; i++ {
+		if half.Article(corpus.ArticleID(i)).Key != c.Store.Article(corpus.ArticleID(i)).Key {
+			t.Fatalf("id %d key changed", i)
+		}
+	}
+	full, err := SampleCitations(c.Store, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumCitations() != c.Store.NumCitations() {
+		t.Errorf("frac=1 dropped citations: %d vs %d", full.NumCitations(), c.Store.NumCitations())
+	}
+	none, err := SampleCitations(c.Store, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumCitations() != 0 {
+		t.Errorf("frac=0 kept citations: %d", none.NumCitations())
+	}
+	if _, err := SampleCitations(c.Store, 1.5, rng); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("frac=1.5: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"scholarrank/internal/corpus"
+)
+
+// ErrEmptySplit reports a holdout cutoff that leaves no training
+// articles.
+var ErrEmptySplit = errors.New("gen: holdout split is empty")
+
+// Holdout is a temporal train/future split of a corpus: the ranking
+// algorithms see only Train (articles published up to the cutoff year
+// and the citations among them), and are scored on FutureCites — the
+// citations those articles receive from articles published after the
+// cutoff. This is the future-impact ground truth the paper family
+// evaluates against.
+type Holdout struct {
+	// Train is the visible corpus (new store with its own dense ids).
+	Train *corpus.Store
+	// FullID maps each train article id to its id in the full corpus.
+	FullID []corpus.ArticleID
+	// FutureCites[i] is the number of post-cutoff citations received
+	// by train article i.
+	FutureCites []float64
+	// Cutoff is the last visible year.
+	Cutoff int
+}
+
+// SplitByYear builds the temporal holdout at the given cutoff year.
+func SplitByYear(s *corpus.Store, cutoff int) (*Holdout, error) {
+	train := corpus.NewStore()
+	fullToTrain := make(map[corpus.ArticleID]corpus.ArticleID)
+	var fullID []corpus.ArticleID
+	var buildErr error
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil || a.Year > cutoff {
+			return
+		}
+		venue := corpus.NoVenue
+		if a.Venue != corpus.NoVenue {
+			v := s.Venue(a.Venue)
+			nv, err := train.InternVenue(v.Key, v.Name)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			venue = nv
+		}
+		authors := make([]corpus.AuthorID, 0, len(a.Authors))
+		for _, au := range a.Authors {
+			rec := s.Author(au)
+			na, err := train.InternAuthor(rec.Key, rec.Name)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			authors = append(authors, na)
+		}
+		tid, err := train.AddArticle(corpus.ArticleMeta{
+			Key: a.Key, Title: a.Title, Year: a.Year,
+			Venue: venue, Authors: authors,
+		})
+		if err != nil {
+			buildErr = err
+			return
+		}
+		fullToTrain[id] = tid
+		fullID = append(fullID, id)
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if train.NumArticles() == 0 {
+		return nil, fmt.Errorf("%w: cutoff %d", ErrEmptySplit, cutoff)
+	}
+
+	future := make([]float64, train.NumArticles())
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil {
+			return
+		}
+		if a.Year <= cutoff {
+			// Visible citation: replicate inside the train store.
+			from := fullToTrain[id]
+			for _, ref := range a.Refs {
+				to, ok := fullToTrain[ref]
+				if !ok {
+					continue // cites a post-cutoff article (metadata noise)
+				}
+				if err := train.AddCitation(from, to); err != nil {
+					buildErr = err
+					return
+				}
+			}
+			return
+		}
+		// Future citer: contributes ground truth only.
+		for _, ref := range a.Refs {
+			if to, ok := fullToTrain[ref]; ok {
+				future[to]++
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return &Holdout{Train: train, FullID: fullID, FutureCites: future, Cutoff: cutoff}, nil
+}
+
+// MapToTrain projects a per-article vector of the full corpus (such
+// as the generator's Quality) onto the train article index.
+func (h *Holdout) MapToTrain(full []float64) []float64 {
+	out := make([]float64, len(h.FullID))
+	for i, id := range h.FullID {
+		out[i] = full[id]
+	}
+	return out
+}
+
+// cloneEntities copies every author and venue of src into a fresh
+// store in id order, so entity ids (and any oracle vectors indexed by
+// them) stay aligned between the original and the clone — including
+// entities that currently have no articles.
+func cloneEntities(src *corpus.Store) (*corpus.Store, error) {
+	out := corpus.NewStore()
+	for i := 0; i < src.NumAuthors(); i++ {
+		a := src.Author(corpus.AuthorID(i))
+		if _, err := out.InternAuthor(a.Key, a.Name); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < src.NumVenues(); i++ {
+		v := src.Venue(corpus.VenueID(i))
+		if _, err := out.InternVenue(v.Key, v.Name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SampleCitations returns a copy of the corpus that keeps each
+// citation independently with probability frac (in [0, 1]). Articles,
+// authors and venues are all preserved; only the citation layer is
+// sparsified. It is the workload of the link-sparsity robustness
+// experiment. A nil rng selects a fixed-seed source.
+func SampleCitations(s *corpus.Store, frac float64, rng *rand.Rand) (*corpus.Store, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("%w: frac=%v", ErrBadConfig, frac)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out, err := cloneEntities(s)
+	if err != nil {
+		return nil, err
+	}
+	var buildErr error
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil {
+			return
+		}
+		// Entity ids are aligned by cloneEntities, so the source
+		// article's ids can be reused directly.
+		if _, err := out.AddArticle(corpus.ArticleMeta{
+			Key: a.Key, Title: a.Title, Year: a.Year,
+			Venue: a.Venue, Authors: a.Authors,
+		}); err != nil {
+			buildErr = err
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	// Article ids are assigned in visit order, so they coincide with
+	// the source store's ids.
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil {
+			return
+		}
+		for _, ref := range a.Refs {
+			if rng.Float64() >= frac {
+				continue
+			}
+			if err := out.AddCitation(id, ref); err != nil {
+				buildErr = err
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scholarrank/internal/corpus"
+)
+
+// PerturbYears returns a copy of the corpus in which each article's
+// publication year is, with probability frac, shifted by a uniform
+// offset in [-maxShift, +maxShift] (clamped to stay positive). It is
+// the metadata-noise workload: real bibliographic dumps carry wrong
+// years, and time-aware methods must degrade gracefully rather than
+// amplify the noise. Citations, authors and venues are preserved;
+// only years move, so perturbed corpora may contain temporal
+// violations (citations "from the past"), exactly like real dumps.
+//
+// A nil rng selects a fixed-seed source.
+func PerturbYears(s *corpus.Store, frac float64, maxShift int, rng *rand.Rand) (*corpus.Store, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("%w: frac=%v", ErrBadConfig, frac)
+	}
+	if maxShift < 0 {
+		return nil, fmt.Errorf("%w: maxShift=%d", ErrBadConfig, maxShift)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out, err := cloneEntities(s)
+	if err != nil {
+		return nil, err
+	}
+	var buildErr error
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil {
+			return
+		}
+		year := a.Year
+		if maxShift > 0 && rng.Float64() < frac {
+			year += rng.Intn(2*maxShift+1) - maxShift
+			if year < 1 {
+				year = 1
+			}
+		}
+		// Entity ids are aligned by cloneEntities.
+		if _, err := out.AddArticle(corpus.ArticleMeta{
+			Key: a.Key, Title: a.Title, Year: year,
+			Venue: a.Venue, Authors: a.Authors,
+		}); err != nil {
+			buildErr = err
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if buildErr != nil {
+			return
+		}
+		for _, ref := range a.Refs {
+			if err := out.AddCitation(id, ref); err != nil {
+				buildErr = err
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return out, nil
+}

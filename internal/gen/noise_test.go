@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+func TestPerturbYearsBasics(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	noisy, err := PerturbYears(c.Store, 0.5, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.NumArticles() != c.Store.NumArticles() ||
+		noisy.NumCitations() != c.Store.NumCitations() ||
+		noisy.NumAuthors() != c.Store.NumAuthors() {
+		t.Fatal("structure changed")
+	}
+	var moved, maxShift int
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		shift := noisy.Article(id).Year - a.Year
+		if shift != 0 {
+			moved++
+		}
+		if shift < 0 {
+			shift = -shift
+		}
+		if shift > maxShift {
+			maxShift = shift
+		}
+	})
+	n := c.Store.NumArticles()
+	// With frac 0.5 and shifts in [-5,5], roughly 0.5·(10/11) of
+	// articles move (a drawn shift can be 0).
+	if moved < n/4 || moved > 3*n/4 {
+		t.Errorf("moved %d of %d", moved, n)
+	}
+	if maxShift > 5 {
+		t.Errorf("max shift %d > 5", maxShift)
+	}
+}
+
+func TestPerturbYearsNoNoise(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := PerturbYears(c.Store, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if same.Article(id).Year != a.Year {
+			t.Fatalf("article %d year changed with frac=0", id)
+		}
+	})
+	// maxShift=0 likewise changes nothing even at frac=1.
+	same2, err := PerturbYears(c.Store, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same2.Article(0).Year != c.Store.Article(0).Year {
+		t.Error("maxShift=0 changed years")
+	}
+}
+
+func TestPerturbYearsValidation(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PerturbYears(c.Store, -0.1, 5, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("frac -0.1: %v", err)
+	}
+	if _, err := PerturbYears(c.Store, 1.1, 5, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("frac 1.1: %v", err)
+	}
+	if _, err := PerturbYears(c.Store, 0.5, -1, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative shift: %v", err)
+	}
+}
+
+func TestPerturbYearsClampsAtOne(t *testing.T) {
+	s := corpus.NewStore()
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p", Year: 2, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	// With frac=1 and huge shifts, the year must never drop below 1.
+	for seed := int64(0); seed < 20; seed++ {
+		noisy, err := PerturbYears(s, 1, 1000, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noisy.Article(0).Year < 1 {
+			t.Fatalf("year %d < 1", noisy.Article(0).Year)
+		}
+	}
+}

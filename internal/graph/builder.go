@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates directed edges and produces an immutable Graph.
+//
+// Duplicate edges are merged: for weighted builds their weights are
+// summed, for unweighted builds the duplicate is dropped. Builders are
+// not safe for concurrent use.
+type Builder struct {
+	n        int
+	srcs     []NodeID
+	dsts     []NodeID
+	ws       []float64
+	weighted bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. Set weighted
+// to record per-edge weights.
+func NewBuilder(n int, weighted bool) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, weighted: weighted}
+}
+
+// Grow raises the node count to at least n. Existing edges keep their
+// endpoints.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumPendingEdges returns the number of edges added so far, before
+// duplicate merging.
+func (b *Builder) NumPendingEdges() int { return len(b.srcs) }
+
+// AddEdge records the edge u->v with weight 1.
+func (b *Builder) AddEdge(u, v NodeID) error { return b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the edge u->v with weight w. For an
+// unweighted builder w is ignored.
+func (b *Builder) AddWeightedEdge(u, v NodeID, w float64) error {
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, u, v, b.n)
+	}
+	b.srcs = append(b.srcs, u)
+	b.dsts = append(b.dsts, v)
+	if b.weighted {
+		b.ws = append(b.ws, w)
+	}
+	return nil
+}
+
+// Build sorts, merges and freezes the accumulated edges into a Graph.
+// The Builder may be reused afterwards; it keeps its edges.
+func (b *Builder) Build() *Graph {
+	m := len(b.srcs)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.srcs[a] != b.srcs[c] {
+			return b.srcs[a] < b.srcs[c]
+		}
+		return b.dsts[a] < b.dsts[c]
+	})
+
+	g := &Graph{
+		n:       b.n,
+		offsets: make([]int64, b.n+1),
+		targets: make([]NodeID, 0, m),
+	}
+	if b.weighted {
+		g.weights = make([]float64, 0, m)
+	}
+	prevU, prevV := NodeID(-1), NodeID(-1)
+	for _, idx := range order {
+		u, v := b.srcs[idx], b.dsts[idx]
+		if u == prevU && v == prevV {
+			// Duplicate edge: merge.
+			if b.weighted {
+				g.weights[len(g.weights)-1] += b.ws[idx]
+			}
+			continue
+		}
+		g.targets = append(g.targets, v)
+		if b.weighted {
+			g.weights = append(g.weights, b.ws[idx])
+		}
+		g.offsets[u+1]++
+		prevU, prevV = u, v
+	}
+	for i := 0; i < b.n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor building an unweighted graph
+// from parallel endpoint slices.
+func FromEdges(n int, src, dst []NodeID) (*Graph, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: endpoint slices differ in length: %d vs %d", len(src), len(dst))
+	}
+	b := NewBuilder(n, false)
+	for i := range src {
+		if err := b.AddEdge(src[i], dst[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// FromWeightedEdges builds a weighted graph from parallel slices.
+func FromWeightedEdges(n int, src, dst []NodeID, w []float64) (*Graph, error) {
+	if len(src) != len(dst) || len(src) != len(w) {
+		return nil, fmt.Errorf("graph: edge slices differ in length: %d/%d/%d", len(src), len(dst), len(w))
+	}
+	b := NewBuilder(n, true)
+	for i := range src {
+		if err := b.AddWeightedEdge(src[i], dst[i], w[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,147 @@
+package graph
+
+// BFS performs a breadth-first traversal from src and returns the
+// hop distance to every node, with -1 for unreachable nodes.
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// WeaklyConnectedComponents labels every node with a component id in
+// [0, count) ignoring edge direction, and returns the labels and the
+// component count.
+func (g *Graph) WeaklyConnectedComponents() (labels []int, count int) {
+	t := g.Transpose()
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []NodeID
+	for s := 0; s < g.n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		stack = append(stack[:0], NodeID(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] < 0 {
+					labels[v] = count
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range t.Neighbors(u) {
+				if labels[v] < 0 {
+					labels[v] = count
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// StronglyConnectedComponents computes SCC labels using an iterative
+// Tarjan algorithm (safe for deep graphs; no recursion). Labels are
+// assigned in reverse topological order of the condensation: if there
+// is a path from component a to component b, then label(a) > label(b).
+func (g *Graph) StronglyConnectedComponents() (labels []int, count int) {
+	const unvisited = -1
+	n := g.n
+	labels = make([]int, n)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		labels[i] = unvisited
+	}
+	var (
+		next     int32
+		tarStack []NodeID // Tarjan component stack
+	)
+	type frame struct {
+		v    NodeID
+		edge int // next out-edge position to explore
+	}
+	var call []frame
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: NodeID(s)})
+		index[s] = next
+		lowlink[s] = next
+		next++
+		tarStack = append(tarStack[:0], NodeID(s))
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			nbrs := g.Neighbors(f.v)
+			advanced := false
+			for f.edge < len(nbrs) {
+				w := nbrs[f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					tarStack = append(tarStack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All edges of f.v explored.
+			if lowlink[f.v] == index[f.v] {
+				for {
+					w := tarStack[len(tarStack)-1]
+					tarStack = tarStack[:len(tarStack)-1]
+					onStack[w] = false
+					labels[w] = count
+					if w == f.v {
+						break
+					}
+				}
+				count++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := &call[len(call)-1]
+				if lowlink[f.v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[f.v]
+				}
+			}
+		}
+	}
+	return labels, count
+}

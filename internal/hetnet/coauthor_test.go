@@ -1,0 +1,57 @@
+package hetnet
+
+import (
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+func TestCoauthorGraph(t *testing.T) {
+	s := corpus.NewStore()
+	a, _ := s.InternAuthor("a", "A")
+	b, _ := s.InternAuthor("b", "B")
+	c, _ := s.InternAuthor("c", "C")
+	// a+b share two articles; b+c share one; c also writes alone.
+	add := func(key string, authors ...corpus.AuthorID) {
+		if _, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: 2000, Venue: corpus.NoVenue, Authors: authors}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("p0", a, b)
+	add("p1", a, b)
+	add("p2", b, c)
+	add("p3", c)
+	net := Build(s)
+	g := net.CoauthorGraph()
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if w := g.Weight(a, b); w != 2 {
+		t.Errorf("weight(a,b) = %v, want 2", w)
+	}
+	if w := g.Weight(b, a); w != 2 {
+		t.Errorf("weight(b,a) = %v, want 2 (symmetric)", w)
+	}
+	if w := g.Weight(b, c); w != 1 {
+		t.Errorf("weight(b,c) = %v", w)
+	}
+	if g.HasEdge(a, c) {
+		t.Error("a-c edge should not exist")
+	}
+	// Cached: second call returns the same object.
+	if net.CoauthorGraph() != g {
+		t.Error("CoauthorGraph not cached")
+	}
+}
+
+func TestCoauthorGraphSoloAuthorsOnly(t *testing.T) {
+	s := corpus.NewStore()
+	a, _ := s.InternAuthor("a", "A")
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p", Year: 2000, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{a}}); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(s).CoauthorGraph()
+	if g.NumEdges() != 0 {
+		t.Errorf("solo corpus has %d coauthor edges", g.NumEdges())
+	}
+}

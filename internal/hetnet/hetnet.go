@@ -1,0 +1,236 @@
+// Package hetnet assembles the heterogeneous academic network used by
+// the heterogeneous ranking algorithms: the article citation graph
+// plus the article–author and article–venue bipartite layers, with
+// per-article publication times.
+//
+// A Network is an immutable index built once from a corpus.Store; all
+// layers use dense indices aligned with the store.
+package hetnet
+
+import (
+	"sync"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/graph"
+)
+
+// Network is the assembled heterogeneous view of a corpus.
+type Network struct {
+	store *corpus.Store
+
+	// Citations is the article->article citation graph (a cites b).
+	Citations *graph.Graph
+
+	// Years[p] is the publication year of article p.
+	Years []float64
+
+	// Now is the observation time: the latest publication year in the
+	// corpus. Ages are measured back from Now.
+	Now float64
+
+	// Author layer, CSR over authors: articles written by each author.
+	authorOffsets  []int64
+	authorArticles []corpus.ArticleID
+
+	// Venue layer, CSR over venues.
+	venueOffsets  []int64
+	venueArticles []corpus.ArticleID
+
+	// Co-authorship graph, built lazily (only CoRank needs it).
+	coauthorOnce sync.Once
+	coauthor     *graph.Graph
+}
+
+// Build indexes the corpus into a Network. The store must not be
+// mutated afterwards.
+func Build(s *corpus.Store) *Network {
+	n := &Network{
+		store:     s,
+		Citations: s.CitationGraph(),
+		Years:     s.Years(),
+	}
+	_, maxYear := s.YearRange()
+	n.Now = float64(maxYear)
+
+	nAuthors := s.NumAuthors()
+	nVenues := s.NumVenues()
+	authorCounts := make([]int64, nAuthors+1)
+	venueCounts := make([]int64, nVenues+1)
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		for _, au := range a.Authors {
+			authorCounts[au+1]++
+		}
+		if a.Venue != corpus.NoVenue {
+			venueCounts[a.Venue+1]++
+		}
+	})
+	for i := 0; i < nAuthors; i++ {
+		authorCounts[i+1] += authorCounts[i]
+	}
+	for i := 0; i < nVenues; i++ {
+		venueCounts[i+1] += venueCounts[i]
+	}
+	n.authorOffsets = authorCounts
+	n.venueOffsets = venueCounts
+	n.authorArticles = make([]corpus.ArticleID, n.authorOffsets[nAuthors])
+	n.venueArticles = make([]corpus.ArticleID, n.venueOffsets[nVenues])
+
+	aCur := make([]int64, nAuthors)
+	vCur := make([]int64, nVenues)
+	copy(aCur, n.authorOffsets[:nAuthors])
+	copy(vCur, n.venueOffsets[:nVenues])
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		for _, au := range a.Authors {
+			n.authorArticles[aCur[au]] = id
+			aCur[au]++
+		}
+		if a.Venue != corpus.NoVenue {
+			n.venueArticles[vCur[a.Venue]] = id
+			vCur[a.Venue]++
+		}
+	})
+	return n
+}
+
+// Store returns the underlying corpus.
+func (n *Network) Store() *corpus.Store { return n.store }
+
+// NumArticles returns the article count.
+func (n *Network) NumArticles() int { return n.store.NumArticles() }
+
+// NumAuthors returns the author count.
+func (n *Network) NumAuthors() int { return n.store.NumAuthors() }
+
+// NumVenues returns the venue count.
+func (n *Network) NumVenues() int { return n.store.NumVenues() }
+
+// AuthorArticles returns the articles written by author a. The slice
+// aliases internal storage and must not be modified.
+func (n *Network) AuthorArticles(a corpus.AuthorID) []corpus.ArticleID {
+	return n.authorArticles[n.authorOffsets[a]:n.authorOffsets[a+1]]
+}
+
+// VenueArticles returns the articles published at venue v. The slice
+// aliases internal storage and must not be modified.
+func (n *Network) VenueArticles(v corpus.VenueID) []corpus.ArticleID {
+	return n.venueArticles[n.venueOffsets[v]:n.venueOffsets[v+1]]
+}
+
+// ArticleAuthors returns the authors of article p.
+func (n *Network) ArticleAuthors(p corpus.ArticleID) []corpus.AuthorID {
+	return n.store.Article(p).Authors
+}
+
+// ArticleVenue returns the venue of article p (corpus.NoVenue if none).
+func (n *Network) ArticleVenue(p corpus.ArticleID) corpus.VenueID {
+	return n.store.Article(p).Venue
+}
+
+// Age returns the age of article p in years at observation time Now.
+func (n *Network) Age(p corpus.ArticleID) float64 {
+	a := n.Now - n.Years[p]
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// CoauthorGraph returns the weighted, symmetric co-authorship graph:
+// an edge a<->b with weight equal to the number of articles the two
+// authors share. It is built on first use and cached; the build is
+// O(Σ k_p²) over per-article author counts k_p.
+func (n *Network) CoauthorGraph() *graph.Graph {
+	n.coauthorOnce.Do(func() {
+		b := graph.NewBuilder(n.NumAuthors(), true)
+		n.store.VisitArticles(func(_ corpus.ArticleID, a *corpus.Article) {
+			for i := 0; i < len(a.Authors); i++ {
+				for j := i + 1; j < len(a.Authors); j++ {
+					// Builder merges duplicates by summing weights,
+					// so repeated collaborations accumulate.
+					_ = b.AddWeightedEdge(a.Authors[i], a.Authors[j], 1)
+					_ = b.AddWeightedEdge(a.Authors[j], a.Authors[i], 1)
+				}
+			}
+		})
+		n.coauthor = b.Build()
+	})
+	return n.coauthor
+}
+
+// SpreadAuthorsToArticles distributes each author's score uniformly
+// over that author's articles, accumulating into dst (dst is
+// overwritten). Authors with no articles contribute nothing.
+func (n *Network) SpreadAuthorsToArticles(dst, authorScore []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for a := 0; a < n.NumAuthors(); a++ {
+		arts := n.AuthorArticles(corpus.AuthorID(a))
+		if len(arts) == 0 {
+			continue
+		}
+		share := authorScore[a] / float64(len(arts))
+		for _, p := range arts {
+			dst[p] += share
+		}
+	}
+}
+
+// GatherArticlesToAuthors computes each author's score as the sum of
+// their articles' scores, each article splitting its mass equally
+// among its authors. dst is overwritten. Articles without authors
+// contribute nothing; the leaked mass is returned so callers can
+// redistribute it.
+func (n *Network) GatherArticlesToAuthors(dst, articleScore []float64) (leaked float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for p := 0; p < n.NumArticles(); p++ {
+		authors := n.ArticleAuthors(corpus.ArticleID(p))
+		if len(authors) == 0 {
+			leaked += articleScore[p]
+			continue
+		}
+		share := articleScore[p] / float64(len(authors))
+		for _, a := range authors {
+			dst[a] += share
+		}
+	}
+	return leaked
+}
+
+// SpreadVenuesToArticles distributes each venue's score uniformly over
+// its articles. dst is overwritten.
+func (n *Network) SpreadVenuesToArticles(dst, venueScore []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for v := 0; v < n.NumVenues(); v++ {
+		arts := n.VenueArticles(corpus.VenueID(v))
+		if len(arts) == 0 {
+			continue
+		}
+		share := venueScore[v] / float64(len(arts))
+		for _, p := range arts {
+			dst[p] += share
+		}
+	}
+}
+
+// GatherArticlesToVenues computes each venue's score as the sum of its
+// articles' scores (an article has at most one venue, so no split).
+// Articles without a venue leak; the leaked mass is returned.
+func (n *Network) GatherArticlesToVenues(dst, articleScore []float64) (leaked float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for p := 0; p < n.NumArticles(); p++ {
+		v := n.ArticleVenue(corpus.ArticleID(p))
+		if v == corpus.NoVenue {
+			leaked += articleScore[p]
+			continue
+		}
+		dst[v] += articleScore[p]
+	}
+	return leaked
+}

@@ -1,0 +1,170 @@
+package hetnet
+
+import (
+	"math"
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+// buildTiny mirrors the corpus package fixture:
+//
+//	p0 (2000, venue v, authors a,b), p1 (2005, author a), p2 (2010, no
+//	venue/authors); p1->p0, p2->p1, p2->p0.
+func buildTiny(t testing.TB) *Network {
+	t.Helper()
+	s := corpus.NewStore()
+	a, _ := s.InternAuthor("a", "Alice")
+	b, _ := s.InternAuthor("b", "Bob")
+	v, _ := s.InternVenue("v", "ICDE")
+	p0, err := s.AddArticle(corpus.ArticleMeta{Key: "p0", Year: 2000, Venue: v, Authors: []corpus.AuthorID{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.AddArticle(corpus.ArticleMeta{Key: "p1", Year: 2005, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.AddArticle(corpus.ArticleMeta{Key: "p2", Year: 2010, Venue: corpus.NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]corpus.ArticleID{{p1, p0}, {p2, p1}, {p2, p0}} {
+		if err := s.AddCitation(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Build(s)
+}
+
+func TestBuildBasics(t *testing.T) {
+	n := buildTiny(t)
+	if n.NumArticles() != 3 || n.NumAuthors() != 2 || n.NumVenues() != 1 {
+		t.Fatalf("counts %d/%d/%d", n.NumArticles(), n.NumAuthors(), n.NumVenues())
+	}
+	if n.Now != 2010 {
+		t.Errorf("Now = %v", n.Now)
+	}
+	if n.Citations.NumEdges() != 3 {
+		t.Errorf("citation edges = %d", n.Citations.NumEdges())
+	}
+	if n.Years[1] != 2005 {
+		t.Errorf("Years[1] = %v", n.Years[1])
+	}
+}
+
+func TestAuthorLayer(t *testing.T) {
+	n := buildTiny(t)
+	// Author a (id 0) wrote p0 and p1; b (id 1) wrote p0 only.
+	arts := n.AuthorArticles(0)
+	if len(arts) != 2 {
+		t.Fatalf("author a articles = %v", arts)
+	}
+	if len(n.AuthorArticles(1)) != 1 {
+		t.Errorf("author b articles = %v", n.AuthorArticles(1))
+	}
+	if got := n.ArticleAuthors(0); len(got) != 2 {
+		t.Errorf("p0 authors = %v", got)
+	}
+	if got := n.ArticleAuthors(2); len(got) != 0 {
+		t.Errorf("p2 authors = %v", got)
+	}
+}
+
+func TestVenueLayer(t *testing.T) {
+	n := buildTiny(t)
+	if got := n.VenueArticles(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("venue articles = %v", got)
+	}
+	if v := n.ArticleVenue(0); v != 0 {
+		t.Errorf("p0 venue = %d", v)
+	}
+	if v := n.ArticleVenue(2); v != corpus.NoVenue {
+		t.Errorf("p2 venue = %d", v)
+	}
+}
+
+func TestAge(t *testing.T) {
+	n := buildTiny(t)
+	if a := n.Age(0); a != 10 {
+		t.Errorf("Age(p0) = %v", a)
+	}
+	if a := n.Age(2); a != 0 {
+		t.Errorf("Age(p2) = %v", a)
+	}
+}
+
+func TestGatherSpreadAuthorsConservesMass(t *testing.T) {
+	n := buildTiny(t)
+	p := []float64{0.5, 0.3, 0.2}
+	authors := make([]float64, n.NumAuthors())
+	leaked := n.GatherArticlesToAuthors(authors, p)
+	// p2 has no authors -> its 0.2 leaks.
+	if math.Abs(leaked-0.2) > 1e-15 {
+		t.Errorf("leaked = %v, want 0.2", leaked)
+	}
+	var total float64
+	for _, a := range authors {
+		total += a
+	}
+	if math.Abs(total+leaked-1) > 1e-12 {
+		t.Errorf("author mass %v + leak %v != 1", total, leaked)
+	}
+	// a gets p0/2 + p1 = 0.25+0.3; b gets 0.25.
+	if math.Abs(authors[0]-0.55) > 1e-12 || math.Abs(authors[1]-0.25) > 1e-12 {
+		t.Errorf("authors = %v", authors)
+	}
+
+	back := make([]float64, 3)
+	n.SpreadAuthorsToArticles(back, authors)
+	var backTotal float64
+	for _, v := range back {
+		backTotal += v
+	}
+	if math.Abs(backTotal-total) > 1e-12 {
+		t.Errorf("spread lost mass: %v vs %v", backTotal, total)
+	}
+	// a splits 0.55 over 2 articles, b puts 0.25 on p0.
+	if math.Abs(back[0]-(0.275+0.25)) > 1e-12 {
+		t.Errorf("back[0] = %v", back[0])
+	}
+	if back[2] != 0 {
+		t.Errorf("back[2] = %v, want 0", back[2])
+	}
+}
+
+func TestGatherSpreadVenues(t *testing.T) {
+	n := buildTiny(t)
+	p := []float64{0.5, 0.3, 0.2}
+	venues := make([]float64, n.NumVenues())
+	leaked := n.GatherArticlesToVenues(venues, p)
+	if math.Abs(leaked-0.5) > 1e-15 { // p1 and p2 have no venue
+		t.Errorf("leaked = %v, want 0.5", leaked)
+	}
+	if math.Abs(venues[0]-0.5) > 1e-15 {
+		t.Errorf("venue score = %v", venues[0])
+	}
+	back := make([]float64, 3)
+	n.SpreadVenuesToArticles(back, venues)
+	if math.Abs(back[0]-0.5) > 1e-15 || back[1] != 0 {
+		t.Errorf("spread = %v", back)
+	}
+}
+
+func TestEmptyCorpusNetwork(t *testing.T) {
+	n := Build(corpus.NewStore())
+	if n.NumArticles() != 0 || n.Now != 0 {
+		t.Errorf("empty network: articles=%d now=%v", n.NumArticles(), n.Now)
+	}
+}
+
+func TestSpreadOverwritesDst(t *testing.T) {
+	n := buildTiny(t)
+	dst := []float64{9, 9, 9}
+	n.SpreadAuthorsToArticles(dst, make([]float64, n.NumAuthors()))
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("dst[%d] = %v, want 0 (overwrite)", i, v)
+		}
+	}
+}

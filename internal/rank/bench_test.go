@@ -1,0 +1,117 @@
+package rank
+
+import (
+	"testing"
+
+	"scholarrank/internal/gen"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+func benchNetwork(b *testing.B) *hetnet.Network {
+	b.Helper()
+	cfg := gen.NewDefaultConfig(20_000)
+	cfg.Seed = 1
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hetnet.Build(c.Store)
+}
+
+var benchIter = sparse.IterOptions{Tol: 1e-9, MaxIter: 200}
+
+func BenchmarkPageRank20k(b *testing.B) {
+	net := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PageRank(net.Citations, PageRankOptions{Iter: benchIter}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRankGaussSeidel20k(b *testing.B) {
+	net := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PageRankGaussSeidel(net.Citations, PageRankOptions{Iter: benchIter}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHITS20k(b *testing.B) {
+	net := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HITSAuthority(net.Citations, benchIter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFutureRank20k(b *testing.B) {
+	net := benchNetwork(b)
+	opts := DefaultFutureRankOptions()
+	opts.Iter = benchIter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FutureRank(net, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPRank20k(b *testing.B) {
+	net := benchNetwork(b)
+	opts := DefaultPRankOptions()
+	opts.Iter = benchIter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PRank(net, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoRank20k(b *testing.B) {
+	net := benchNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoRank(net, CoRankOptions{Iter: benchIter}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelatedQuery20k(b *testing.B) {
+	net := benchNetwork(b)
+	ri, err := NewRelatedIndex(net, RelatedOptions{Iter: benchIter})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ri.Related(int32(i%net.NumArticles()), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK20k(b *testing.B) {
+	net := benchNetwork(b)
+	res := CiteCount(net.Citations)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopK(res.Scores, 100)
+	}
+}

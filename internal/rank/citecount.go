@@ -1,0 +1,90 @@
+package rank
+
+import (
+	"fmt"
+
+	"scholarrank/internal/graph"
+)
+
+// CiteCount scores every article by its raw citation count (in-degree
+// of the citation graph). It is the simplest and most widely deployed
+// query-independent signal, and the weakest baseline for future
+// impact because it ignores who cites and when.
+func CiteCount(g *graph.Graph) Result {
+	in := g.InDegrees()
+	scores := make([]float64, len(in))
+	for i, d := range in {
+		scores[i] = float64(d)
+	}
+	return Result{Scores: scores}
+}
+
+// YearNormCiteCount divides each article's citation count by the mean
+// citation count of articles published in the same year (with
+// add-one smoothing), removing the mechanical advantage of older
+// articles. years[i] is the publication year of article i.
+func YearNormCiteCount(g *graph.Graph, years []float64) Result {
+	in := g.InDegrees()
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for i, d := range in {
+		y := int(years[i])
+		sum[y] += float64(d)
+		cnt[y]++
+	}
+	scores := make([]float64, len(in))
+	for i, d := range in {
+		y := int(years[i])
+		mean := (sum[y] + 1) / float64(cnt[y]) // add-one smoothing
+		scores[i] = float64(d) / mean
+	}
+	return Result{Scores: scores}
+}
+
+// GroupNormCiteCount divides each article's citation count by the
+// mean citation count of articles in the same (group, year) cell,
+// with add-one smoothing. With all groups equal it reduces to
+// YearNormCiteCount; with groups = research fields it is the
+// field-normalised citation indicator (the RCR-style correction for
+// fields with different citation densities). groups[i] is an opaque
+// group label for article i.
+func GroupNormCiteCount(g *graph.Graph, groups []int, years []float64) (Result, error) {
+	if len(groups) != g.NumNodes() || len(years) != g.NumNodes() {
+		return Result{}, fmt.Errorf("%w: groups/years length %d/%d, want %d",
+			ErrBadParam, len(groups), len(years), g.NumNodes())
+	}
+	type cell struct {
+		group, year int
+	}
+	in := g.InDegrees()
+	sum := make(map[cell]float64)
+	cnt := make(map[cell]int)
+	for i, d := range in {
+		c := cell{groups[i], int(years[i])}
+		sum[c] += float64(d)
+		cnt[c]++
+	}
+	scores := make([]float64, len(in))
+	for i, d := range in {
+		c := cell{groups[i], int(years[i])}
+		mean := (sum[c] + 1) / float64(cnt[c])
+		scores[i] = float64(d) / mean
+	}
+	return Result{Scores: scores}, nil
+}
+
+// AgeNormCiteCount divides the citation count by the article's age in
+// years (minimum 1): citations per year, another common recency
+// correction.
+func AgeNormCiteCount(g *graph.Graph, years []float64, now float64) Result {
+	in := g.InDegrees()
+	scores := make([]float64, len(in))
+	for i, d := range in {
+		age := now - years[i]
+		if age < 1 {
+			age = 1
+		}
+		scores[i] = float64(d) / age
+	}
+	return Result{Scores: scores}
+}

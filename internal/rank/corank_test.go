@@ -1,0 +1,109 @@
+package rank
+
+import (
+	"errors"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+func TestCoRankBasics(t *testing.T) {
+	net := buildHetFixture(t)
+	r, err := CoRank(net, CoRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats.Converged {
+		t.Fatalf("not converged: %+v", r.Stats)
+	}
+	if len(r.Articles) != net.NumArticles() || len(r.Authors) != net.NumAuthors() {
+		t.Fatalf("lengths %d/%d", len(r.Articles), len(r.Authors))
+	}
+	if s := sparse.Sum(r.Articles); s < 0.999 || s > 1.001 {
+		t.Errorf("article mass = %v", s)
+	}
+	if s := sparse.Sum(r.Authors); s < 0.999 || s > 1.001 {
+		t.Errorf("author mass = %v", s)
+	}
+}
+
+func TestCoRankCouplingLiftsStarAuthor(t *testing.T) {
+	net := buildHetFixture(t)
+	// The "star" author (id 0) wrote the heavily cited articles; the
+	// "other" author (id 1) co-wrote one. Star must outrank other.
+	r, err := CoRank(net, CoRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Authors[0] <= r.Authors[1] {
+		t.Errorf("star author not on top: %v", r.Authors)
+	}
+	// Stronger coupling moves more article mass into authors'
+	// articles: article 0 (star's hit) keeps the top article slot.
+	if best := TopK(r.Articles, 1)[0]; best != 0 {
+		t.Errorf("top article = %d", best)
+	}
+}
+
+func TestCoRankCouplingChangesRanking(t *testing.T) {
+	net := buildHetFixture(t)
+	weak, err := CoRank(net, CoRankOptions{Coupling: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := CoRank(net, CoRankOptions{Coupling: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxDiff(weak.Articles, strong.Articles); d < 1e-9 {
+		t.Errorf("coupling had no effect (diff %v)", d)
+	}
+}
+
+func TestCoRankValidation(t *testing.T) {
+	net := buildHetFixture(t)
+	if _, err := CoRank(net, CoRankOptions{Coupling: 1.5}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("coupling 1.5: %v", err)
+	}
+	if _, err := CoRank(net, CoRankOptions{Coupling: -0.1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative coupling: %v", err)
+	}
+	if _, err := CoRank(net, CoRankOptions{Damping: 3}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("damping 3: %v", err)
+	}
+}
+
+func TestCoRankNoAuthorsFallsBackToPageRank(t *testing.T) {
+	s := corpus.NewStore()
+	p0, _ := s.AddArticle(corpus.ArticleMeta{Key: "p0", Year: 2000, Venue: corpus.NoVenue})
+	p1, _ := s.AddArticle(corpus.ArticleMeta{Key: "p1", Year: 2001, Venue: corpus.NoVenue})
+	_ = s.AddCitation(p1, p0)
+	net := hetnet.Build(s)
+	r, err := CoRank(net, CoRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(net.Citations, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxDiff(r.Articles, pr.Scores); d > 1e-9 {
+		t.Errorf("no-author CoRank deviates from PageRank by %v", d)
+	}
+	if r.Authors != nil {
+		t.Errorf("authors = %v, want nil", r.Authors)
+	}
+}
+
+func TestCoRankEmpty(t *testing.T) {
+	net := hetnet.Build(corpus.NewStore())
+	r, err := CoRank(net, CoRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Articles) != 0 || !r.Stats.Converged {
+		t.Errorf("empty CoRank: %+v", r)
+	}
+}

@@ -1,0 +1,136 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"scholarrank/internal/hetnet"
+)
+
+// EntityAggregate selects how an author's or venue's score is
+// aggregated from its articles' scores.
+type EntityAggregate int
+
+// Entity aggregation rules. The zero value is AggShrunkMean, the
+// recommended default.
+const (
+	// AggShrunkMean is the Bayesian-shrunk mean: the entity mean
+	// pulled toward the global mean with pseudo-count weight, the
+	// standard fix for small-sample entities.
+	AggShrunkMean EntityAggregate = iota
+	// AggSum totals article scores — rewards volume (an h-index-like
+	// prolific-author bias).
+	AggSum
+	// AggMean averages article scores — volume-neutral, noisy for
+	// single-article entities.
+	AggMean
+)
+
+// String implements fmt.Stringer for experiment tables.
+func (a EntityAggregate) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggShrunkMean:
+		return "shrunk-mean"
+	default:
+		return fmt.Sprintf("EntityAggregate(%d)", int(a))
+	}
+}
+
+// EntityRankOptions configures author/venue ranking.
+type EntityRankOptions struct {
+	// Aggregate selects the aggregation rule (default AggShrunkMean).
+	Aggregate EntityAggregate
+	// ShrinkWeight is the pseudo-count for AggShrunkMean; zero
+	// selects 3 (an entity needs a few articles before its own mean
+	// dominates the prior).
+	ShrinkWeight float64
+}
+
+func (o EntityRankOptions) withDefaults() (EntityRankOptions, error) {
+	if o.ShrinkWeight == 0 {
+		o.ShrinkWeight = 3
+	}
+	if o.ShrinkWeight < 0 || math.IsNaN(o.ShrinkWeight) {
+		return o, fmt.Errorf("%w: shrink weight %v", ErrBadParam, o.ShrinkWeight)
+	}
+	switch o.Aggregate {
+	case AggSum, AggMean, AggShrunkMean:
+	default:
+		return o, fmt.Errorf("%w: aggregate %d", ErrBadParam, int(o.Aggregate))
+	}
+	return o, nil
+}
+
+// AuthorRank aggregates per-article importance into per-author
+// scores. articleScores must be indexed by dense article id; the
+// result is indexed by dense author id.
+func AuthorRank(net *hetnet.Network, articleScores []float64, opts EntityRankOptions) ([]float64, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(articleScores) != net.NumArticles() {
+		return nil, fmt.Errorf("%w: scores length %d, want %d", ErrBadParam, len(articleScores), net.NumArticles())
+	}
+	out := make([]float64, net.NumAuthors())
+	counts := make([]float64, net.NumAuthors())
+	for a := 0; a < net.NumAuthors(); a++ {
+		for _, p := range net.AuthorArticles(int32(a)) {
+			out[a] += articleScores[p]
+			counts[a]++
+		}
+	}
+	finishEntityScores(out, counts, articleScores, opts)
+	return out, nil
+}
+
+// VenueRank aggregates per-article importance into per-venue scores.
+func VenueRank(net *hetnet.Network, articleScores []float64, opts EntityRankOptions) ([]float64, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(articleScores) != net.NumArticles() {
+		return nil, fmt.Errorf("%w: scores length %d, want %d", ErrBadParam, len(articleScores), net.NumArticles())
+	}
+	out := make([]float64, net.NumVenues())
+	counts := make([]float64, net.NumVenues())
+	for v := 0; v < net.NumVenues(); v++ {
+		for _, p := range net.VenueArticles(int32(v)) {
+			out[v] += articleScores[p]
+			counts[v]++
+		}
+	}
+	finishEntityScores(out, counts, articleScores, opts)
+	return out, nil
+}
+
+// finishEntityScores converts per-entity sums into the configured
+// aggregate in place. Entities with no articles score 0 under AggSum
+// and AggMean, and the global prior under AggShrunkMean.
+func finishEntityScores(sums, counts, articleScores []float64, opts EntityRankOptions) {
+	if opts.Aggregate == AggSum {
+		return
+	}
+	var global float64
+	if len(articleScores) > 0 {
+		for _, s := range articleScores {
+			global += s
+		}
+		global /= float64(len(articleScores))
+	}
+	for i := range sums {
+		switch opts.Aggregate {
+		case AggMean:
+			if counts[i] > 0 {
+				sums[i] /= counts[i]
+			}
+		case AggShrunkMean:
+			sums[i] = (sums[i] + opts.ShrinkWeight*global) / (counts[i] + opts.ShrinkWeight)
+		}
+	}
+}

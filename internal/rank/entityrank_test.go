@@ -1,0 +1,126 @@
+package rank
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+)
+
+// entityFixture: author A wrote p0 (score 0.6) and p1 (0.3);
+// author B wrote p1 only; venue V holds p0 and p2 (0.1); p2 is bare.
+func entityFixture(t *testing.T) (*hetnet.Network, []float64) {
+	t.Helper()
+	s := corpus.NewStore()
+	a, _ := s.InternAuthor("A", "A")
+	b, _ := s.InternAuthor("B", "B")
+	v, _ := s.InternVenue("V", "V")
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p0", Year: 2000, Venue: v, Authors: []corpus.AuthorID{a}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p1", Year: 2001, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{a, b}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p2", Year: 2002, Venue: v}); err != nil {
+		t.Fatal(err)
+	}
+	return hetnet.Build(s), []float64{0.6, 0.3, 0.1}
+}
+
+func TestAuthorRankSum(t *testing.T) {
+	net, scores := entityFixture(t)
+	got, err := AuthorRank(net, scores, EntityRankOptions{Aggregate: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.9) > 1e-12 || math.Abs(got[1]-0.3) > 1e-12 {
+		t.Errorf("AuthorRank sum = %v", got)
+	}
+}
+
+func TestAuthorRankMean(t *testing.T) {
+	net, scores := entityFixture(t)
+	got, err := AuthorRank(net, scores, EntityRankOptions{Aggregate: AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.45) > 1e-12 || math.Abs(got[1]-0.3) > 1e-12 {
+		t.Errorf("AuthorRank mean = %v", got)
+	}
+}
+
+func TestAuthorRankShrunkMean(t *testing.T) {
+	net, scores := entityFixture(t)
+	got, err := AuthorRank(net, scores, EntityRankOptions{Aggregate: AggShrunkMean, ShrinkWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := (0.6 + 0.3 + 0.1) / 3
+	wantA := (0.9 + 2*global) / (2 + 2)
+	wantB := (0.3 + 2*global) / (1 + 2)
+	if math.Abs(got[0]-wantA) > 1e-12 || math.Abs(got[1]-wantB) > 1e-12 {
+		t.Errorf("AuthorRank shrunk = %v, want [%v %v]", got, wantA, wantB)
+	}
+	// Shrinkage pulls a single-article author toward the prior more
+	// strongly than a two-article author.
+	if math.Abs(got[1]-global) > math.Abs(0.3-global) {
+		t.Error("shrinkage moved away from the prior")
+	}
+}
+
+func TestVenueRank(t *testing.T) {
+	net, scores := entityFixture(t)
+	got, err := VenueRank(net, scores, EntityRankOptions{Aggregate: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.7) > 1e-12 { // p0 + p2
+		t.Errorf("VenueRank sum = %v", got)
+	}
+	mean, err := VenueRank(net, scores, EntityRankOptions{Aggregate: AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-0.35) > 1e-12 {
+		t.Errorf("VenueRank mean = %v", mean)
+	}
+}
+
+func TestEntityRankValidation(t *testing.T) {
+	net, scores := entityFixture(t)
+	if _, err := AuthorRank(net, scores[:1], EntityRankOptions{}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("short scores: %v", err)
+	}
+	if _, err := VenueRank(net, scores[:1], EntityRankOptions{}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("short scores venue: %v", err)
+	}
+	if _, err := AuthorRank(net, scores, EntityRankOptions{ShrinkWeight: -1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative shrink: %v", err)
+	}
+	if _, err := AuthorRank(net, scores, EntityRankOptions{Aggregate: EntityAggregate(9)}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad aggregate: %v", err)
+	}
+}
+
+func TestEntityAggregateString(t *testing.T) {
+	for agg, want := range map[EntityAggregate]string{
+		AggSum: "sum", AggMean: "mean", AggShrunkMean: "shrunk-mean",
+	} {
+		if agg.String() != want {
+			t.Errorf("String(%d) = %q", int(agg), agg.String())
+		}
+	}
+	if EntityAggregate(7).String() == "" {
+		t.Error("unknown aggregate empty string")
+	}
+}
+
+func TestEntityRankEmptyNetwork(t *testing.T) {
+	net := hetnet.Build(corpus.NewStore())
+	got, err := AuthorRank(net, nil, EntityRankOptions{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty AuthorRank = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,124 @@
+package rank
+
+import (
+	"fmt"
+
+	"scholarrank/internal/graph"
+	"scholarrank/internal/sparse"
+)
+
+// DefaultDamping is the conventional PageRank damping factor.
+const DefaultDamping = 0.85
+
+// PageRankOptions configures the PageRank family of computations.
+type PageRankOptions struct {
+	// Damping is the probability of following a citation rather than
+	// teleporting; zero selects DefaultDamping. Must lie in (0, 1).
+	Damping float64
+	// Personalization is the teleport distribution over articles.
+	// Nil selects uniform. It is normalised internally; entries must
+	// be non-negative and not all zero.
+	Personalization []float64
+	// Workers sets mat-vec parallelism; values < 1 select NumCPU.
+	Workers int
+	// Iter controls convergence (tolerance, max iterations, tracing).
+	Iter sparse.IterOptions
+}
+
+func (o PageRankOptions) damping() float64 {
+	if o.Damping == 0 {
+		return DefaultDamping
+	}
+	return o.Damping
+}
+
+func (o PageRankOptions) validate(n int) error {
+	d := o.damping()
+	if d <= 0 || d >= 1 {
+		return fmt.Errorf("%w: damping %v not in (0,1)", ErrBadParam, o.Damping)
+	}
+	if o.Personalization != nil {
+		if len(o.Personalization) != n {
+			return fmt.Errorf("%w: personalization length %d, want %d", ErrBadParam, len(o.Personalization), n)
+		}
+		var s float64
+		for _, v := range o.Personalization {
+			if v < 0 {
+				return fmt.Errorf("%w: negative personalization entry", ErrBadParam)
+			}
+			s += v
+		}
+		if s <= 0 {
+			return fmt.Errorf("%w: personalization sums to zero", ErrBadParam)
+		}
+	}
+	return nil
+}
+
+// teleport returns the normalised teleport vector.
+func (o PageRankOptions) teleport(n int) []float64 {
+	v := make([]float64, n)
+	if o.Personalization == nil {
+		sparse.Uniform(v)
+		return v
+	}
+	copy(v, o.Personalization)
+	sparse.Normalize1(v)
+	return v
+}
+
+// PageRank computes the stationary distribution of the damped random
+// walk on g:
+//
+//	x' = d·(Mᵀx + danglingMass(x)·v) + (1-d)·v
+//
+// where v is the (possibly personalised) teleport vector. Dangling
+// mass is redistributed through v, so the result is a probability
+// distribution (sums to 1).
+func PageRank(g *graph.Graph, opts PageRankOptions) (Result, error) {
+	n := g.NumNodes()
+	if err := opts.validate(n); err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return Result{Scores: nil, Stats: sparse.IterStats{Converged: true}}, nil
+	}
+	t := sparse.NewTransition(g, opts.Workers)
+	scores, stats, err := sparse.DampedWalk(t, opts.damping(), opts.teleport(n), opts.Iter)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Scores: scores, Stats: stats}, nil
+}
+
+// PageRankGaussSeidel computes the same stationary distribution as
+// PageRank but with in-place Gauss–Seidel sweeps, which converge in
+// roughly half the iterations on (near-)chronologically indexed
+// citation graphs. Results agree with PageRank up to the tolerance.
+func PageRankGaussSeidel(g *graph.Graph, opts PageRankOptions) (Result, error) {
+	n := g.NumNodes()
+	if err := opts.validate(n); err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return Result{Scores: nil, Stats: sparse.IterStats{Converged: true}}, nil
+	}
+	t := sparse.NewTransition(g, opts.Workers)
+	scores, stats, err := t.GaussSeidelPageRank(opts.damping(), opts.teleport(n), opts.Iter)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Scores: scores, Stats: stats}, nil
+}
+
+// WeightedPageRank runs PageRank on a weighted citation graph, where
+// each citation edge carries an arbitrary positive weight (such as a
+// time-decay factor) and a citing article distributes its mass
+// proportionally to edge weight. For unweighted graphs it is
+// identical to PageRank.
+func WeightedPageRank(g *graph.Graph, opts PageRankOptions) (Result, error) {
+	// The Transition operator already honours edge weights; this
+	// wrapper exists for call-site clarity in the algorithms that
+	// construct decay-weighted graphs.
+	return PageRank(g, opts)
+}

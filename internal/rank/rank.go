@@ -1,0 +1,86 @@
+// Package rank implements the query-independent baseline ranking
+// algorithms the paper family compares against: citation counts
+// (raw and year-normalised), PageRank, HITS, CiteRank (time-aware
+// personalised PageRank), FutureRank (citation + author + time), and
+// P-Rank (citation + author + venue heterogeneous walk).
+//
+// Every algorithm returns scores aligned with the dense article index
+// of the corpus; higher is better. Iterative algorithms additionally
+// report convergence statistics.
+package rank
+
+import (
+	"container/heap"
+	"errors"
+
+	"scholarrank/internal/sparse"
+)
+
+// ErrBadParam reports out-of-range algorithm parameters.
+var ErrBadParam = errors.New("rank: invalid parameter")
+
+// Result is the outcome of a ranking computation.
+type Result struct {
+	// Scores[i] is the importance of article i; higher is better.
+	Scores []float64
+	// Stats reports iteration behaviour for iterative algorithms and
+	// is zero for closed-form scores such as citation counts.
+	Stats sparse.IterStats
+}
+
+// TopK returns the indices of the k highest-scoring items in
+// descending score order. Ties break toward the lower index for
+// determinism. k larger than len(scores) is clamped.
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	h := &minHeap{}
+	heap.Init(h)
+	for i, s := range scores {
+		if h.Len() < k {
+			heap.Push(h, scored{i, s})
+			continue
+		}
+		top := (*h)[0]
+		if s > top.score || (s == top.score && i < top.idx) {
+			(*h)[0] = scored{i, s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(scored).idx
+	}
+	return out
+}
+
+type scored struct {
+	idx   int
+	score float64
+}
+
+// minHeap keeps the current k best items with the worst at the root.
+// Ordering treats a higher index as "worse" on ties so that the final
+// extraction yields deterministic ascending-index tie-breaks.
+type minHeap []scored
+
+func (h minHeap) Len() int { return len(h) }
+func (h minHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].idx > h[j].idx
+}
+func (h minHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)   { *h = append(*h, x.(scored)) }
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

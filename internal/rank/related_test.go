@@ -1,0 +1,122 @@
+package rank
+
+import (
+	"errors"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+)
+
+// relatedFixture builds two citation clusters joined by one bridge:
+//
+//	cluster A: a0 <- a1, a0 <- a2, a1 <- a2
+//	cluster B: b0 <- b1, b0 <- b2, b1 <- b2
+//	bridge:    b0 cites a0
+func relatedFixture(t *testing.T) (*hetnet.Network, map[string]corpus.ArticleID) {
+	t.Helper()
+	s := corpus.NewStore()
+	ids := map[string]corpus.ArticleID{}
+	for i, key := range []string{"a0", "a1", "a2", "b0", "b1", "b2"} {
+		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: 2000 + i, Venue: corpus.NoVenue})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[key] = id
+	}
+	for _, c := range [][2]string{
+		{"a1", "a0"}, {"a2", "a0"}, {"a2", "a1"},
+		{"b1", "b0"}, {"b2", "b0"}, {"b2", "b1"},
+		{"b0", "a0"},
+	} {
+		if err := s.AddCitation(ids[c[0]], ids[c[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hetnet.Build(s), ids
+}
+
+func TestRelatedFindsOwnCluster(t *testing.T) {
+	net, ids := relatedFixture(t)
+	ri, err := NewRelatedIndex(net, RelatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ri.Related(ids["a2"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// a2's closest relatives are a0 and a1, not the b cluster.
+	want := map[int]bool{int(ids["a0"]): true, int(ids["a1"]): true}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("unexpected related article %d", i)
+		}
+	}
+}
+
+func TestRelatedExcludesSeed(t *testing.T) {
+	net, ids := relatedFixture(t)
+	ri, err := NewRelatedIndex(net, RelatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ri.Related(ids["a0"], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range got {
+		if i == int(ids["a0"]) {
+			t.Error("seed included in results")
+		}
+	}
+	// Everything is reachable through the bridge in the bidirectional
+	// walk, so all 5 other articles appear.
+	if len(got) != 5 {
+		t.Errorf("got %d results, want 5", len(got))
+	}
+}
+
+func TestRelatedValidation(t *testing.T) {
+	net, _ := relatedFixture(t)
+	if _, err := NewRelatedIndex(net, RelatedOptions{Damping: 2}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("damping 2: %v", err)
+	}
+	ri, err := NewRelatedIndex(net, RelatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ri.Related(99, 3); !errors.Is(err, ErrBadParam) {
+		t.Errorf("out-of-range seed: %v", err)
+	}
+	got, err := ri.Related(0, 0)
+	if err != nil || got != nil {
+		t.Errorf("k=0: %v %v", got, err)
+	}
+}
+
+func TestRelatedIsolatedSeed(t *testing.T) {
+	s := corpus.NewStore()
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "solo", Year: 2000, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "other", Year: 2001, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := NewRelatedIndex(hetnet.Build(s), RelatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ri.Related(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No links at all: the walk never leaves the seed, so the other
+	// article collects no mass and the result is empty.
+	if len(got) != 0 {
+		t.Errorf("isolated seed returned %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"scholarrank/internal/graph"
+	"scholarrank/internal/sparse"
+	"scholarrank/internal/temporal"
+)
+
+// SceasRankOptions configures SceasRank (SCEAS: Scientific Collection
+// Evaluator with Advanced Scoring, Sidiropoulos & Manolopoulos). The
+// method differs from PageRank in two ways that matter for citation
+// graphs: a direct-citation bonus b makes each citation worth
+// something even from zero-score citers, and the decay factor d < 1
+// geometrically discounts long citation chains, which both speeds
+// convergence and reduces the dominance of old, deep chains.
+type SceasRankOptions struct {
+	// Decay is the per-hop chain discount d in (0, 1); zero selects
+	// the published default 1/e.
+	Decay float64
+	// Bonus is the direct-citation enhancement b >= 0; zero-valued
+	// options select the published default 1.
+	Bonus float64
+	// BonusSet marks Bonus as explicitly provided (allows Bonus = 0).
+	BonusSet bool
+	// Iter controls convergence.
+	Iter sparse.IterOptions
+}
+
+func (o SceasRankOptions) withDefaults() (SceasRankOptions, error) {
+	if o.Decay == 0 {
+		o.Decay = 1 / math.E
+	}
+	if o.Bonus == 0 && !o.BonusSet {
+		o.Bonus = 1
+	}
+	if o.Decay <= 0 || o.Decay >= 1 {
+		return o, fmt.Errorf("%w: sceas decay %v not in (0,1)", ErrBadParam, o.Decay)
+	}
+	if o.Bonus < 0 {
+		return o, fmt.Errorf("%w: sceas bonus %v", ErrBadParam, o.Bonus)
+	}
+	return o, nil
+}
+
+// SceasRank iterates
+//
+//	S(p) = Σ_{q→p} (S(q) + b) · d / outdeg(q)
+//
+// to its fixed point. The map is a contraction for d < 1, so it
+// converges from any start; scores are left unnormalised (their
+// scale carries the "citations weighted by chain depth" meaning),
+// matching the original formulation.
+func SceasRank(g *graph.Graph, opts SceasRankOptions) (Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return Result{Stats: sparse.IterStats{Converged: true}}, nil
+	}
+	t := sparse.NewTransition(g, 1)
+	// bonusIn[p] = Σ_{q→p} b/outdeg(q) is constant across iterations.
+	bonusIn := make([]float64, n)
+	ones := make([]float64, n)
+	sparse.Fill(ones, 1)
+	t.MulVec(bonusIn, ones)
+	sparse.Scale(bonusIn, opts.Bonus*opts.Decay)
+
+	step := func(dst, src []float64) {
+		t.MulVec(dst, src)
+		for i := range dst {
+			dst[i] = dst[i]*opts.Decay + bonusIn[i]
+		}
+	}
+	init := make([]float64, n)
+	scores, stats, err := sparse.FixedPoint(init, step, opts.Iter)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Scores: scores, Stats: stats}, nil
+}
+
+// TimedPageRank implements the post-hoc temporal weighting of the
+// "Adding the Temporal Dimension to Search" line of work: compute
+// ordinary PageRank, then multiply each article's score by a decay
+// of its age, so old prestige fades unless refreshed.
+func TimedPageRank(g *graph.Graph, years []float64, now float64, rho float64, opts PageRankOptions) (Result, error) {
+	kernel, err := temporal.NewExponential(rho)
+	if err != nil {
+		return Result{}, fmt.Errorf("rank: timed pagerank: %w", err)
+	}
+	res, err := PageRank(g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range res.Scores {
+		res.Scores[i] *= kernel.Weight(temporal.Age(now, years[i]))
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package rank
+
+import (
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+// venueFixture: venue "top" holds well-cited articles, venue "low"
+// holds uncited ones. Articles a and b have one citation each — a's
+// citer is from the top venue, b's from the low venue.
+func venueFixture(t *testing.T) *hetnet.Network {
+	t.Helper()
+	s := corpus.NewStore()
+	top, _ := s.InternVenue("top", "Top Venue")
+	low, _ := s.InternVenue("low", "Low Venue")
+	add := func(key string, year int, v corpus.VenueID) corpus.ArticleID {
+		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: year, Venue: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a := add("a", 2000, corpus.NoVenue)
+	b := add("b", 2000, corpus.NoVenue)
+	topCiter := add("topciter", 2005, top)
+	lowCiter := add("lowciter", 2005, low)
+	// Make the top venue prestigious: its articles are themselves
+	// heavily cited.
+	fan1 := add("fan1", 2008, corpus.NoVenue)
+	fan2 := add("fan2", 2008, corpus.NoVenue)
+	fan3 := add("fan3", 2009, corpus.NoVenue)
+	for _, c := range [][2]corpus.ArticleID{
+		{topCiter, a}, {lowCiter, b},
+		{fan1, topCiter}, {fan2, topCiter}, {fan3, topCiter},
+	} {
+		if err := s.AddCitation(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hetnet.Build(s)
+}
+
+func TestVenueWeightedPageRankPrefersPrestigiousCiters(t *testing.T) {
+	net := venueFixture(t)
+	vw, err := VenueWeightedPageRank(net, PageRankOptions{Iter: sparse.IterOptions{Tol: 1e-12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain PageRank scores a and b identically only in in-degree
+	// terms; under venue weighting a (cited from the top venue) must
+	// strictly beat b.
+	if vw.Scores[0] <= vw.Scores[1] {
+		t.Errorf("venue weighting ignored: a=%v b=%v", vw.Scores[0], vw.Scores[1])
+	}
+	if s := sparse.Sum(vw.Scores); s < 0.999 || s > 1.001 {
+		t.Errorf("mass = %v", s)
+	}
+}
+
+func TestVenueWeightedPageRankNoVenuesEqualsPageRank(t *testing.T) {
+	s := corpus.NewStore()
+	a, _ := s.AddArticle(corpus.ArticleMeta{Key: "a", Year: 2000, Venue: corpus.NoVenue})
+	b, _ := s.AddArticle(corpus.ArticleMeta{Key: "b", Year: 2001, Venue: corpus.NoVenue})
+	_ = s.AddCitation(b, a)
+	net := hetnet.Build(s)
+	vw, err := VenueWeightedPageRank(net, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(net.Citations, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxDiff(vw.Scores, pr.Scores); d > 1e-12 {
+		t.Errorf("venueless corpus deviates by %v", d)
+	}
+}
+
+func TestVenueCitationPrestige(t *testing.T) {
+	net := venueFixture(t)
+	prestige, err := venueCitationPrestige(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prestige) != 2 {
+		t.Fatalf("prestige = %v", prestige)
+	}
+	// top venue: 1 article with 3 cites -> (3+1)/2 = 2;
+	// low venue: 1 article with 0 cites -> (0+1)/2 = 0.5;
+	// normalised by mean 1.25 -> 1.6 and 0.4.
+	if !almostEq(prestige[0], 1.6, 1e-12) || !almostEq(prestige[1], 0.4, 1e-12) {
+		t.Errorf("prestige = %v, want [1.6 0.4]", prestige)
+	}
+}

@@ -1,0 +1,254 @@
+// Package retrieval simulates the downstream consumer of
+// query-independent scores: an academic search stack that blends a
+// per-query relevance signal with a static importance prior. It
+// provides a synthetic query workload over a corpus, the blending
+// rule, and the retrieval-quality measurement the blending experiment
+// (T7) reports.
+//
+// The workload mirrors how query-independent evidence is evaluated in
+// the IR literature: for each query there is a set of topically
+// relevant documents; the ranker sees a *noisy* relevance estimate
+// (standing in for BM25) and may mix in the importance prior; quality
+// is scored against graded gains that favour the genuinely important
+// relevant documents — "the searcher wants the good paper on the
+// topic, not just any paper on the topic".
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/eval"
+	"scholarrank/internal/graph"
+	"scholarrank/internal/hetnet"
+)
+
+// ErrBadWorkload reports invalid workload parameters.
+var ErrBadWorkload = errors.New("retrieval: invalid workload")
+
+// Query is one synthetic topical query.
+type Query struct {
+	// Candidates are the articles retrieved for the query (topically
+	// relevant ones plus distractors), as dense article ids.
+	Candidates []corpus.ArticleID
+	// Relevance is the noisy per-candidate relevance estimate the
+	// ranker sees (aligned with Candidates).
+	Relevance []float64
+	// Gain is the evaluation-only graded gain per candidate: positive
+	// for truly relevant articles, scaled by their latent quality.
+	Gain []float64
+}
+
+// WorkloadOptions configures query synthesis.
+type WorkloadOptions struct {
+	// Queries is the number of queries to build.
+	Queries int
+	// TopicSize is the number of truly relevant articles per query.
+	TopicSize int
+	// Distractors is the number of non-relevant candidates mixed in.
+	Distractors int
+	// RelevanceNoise is the standard deviation of the Gaussian noise
+	// on the relevance estimate (relative to the 0/1 truth signal).
+	RelevanceNoise float64
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+// DefaultWorkloadOptions returns the workload used by the blending
+// experiment.
+func DefaultWorkloadOptions() WorkloadOptions {
+	return WorkloadOptions{
+		Queries:        200,
+		TopicSize:      20,
+		Distractors:    80,
+		RelevanceNoise: 0.35,
+		Seed:           1,
+	}
+}
+
+func (o WorkloadOptions) validate() error {
+	switch {
+	case o.Queries <= 0:
+		return fmt.Errorf("%w: Queries=%d", ErrBadWorkload, o.Queries)
+	case o.TopicSize <= 0:
+		return fmt.Errorf("%w: TopicSize=%d", ErrBadWorkload, o.TopicSize)
+	case o.Distractors < 0:
+		return fmt.Errorf("%w: Distractors=%d", ErrBadWorkload, o.Distractors)
+	case o.RelevanceNoise < 0:
+		return fmt.Errorf("%w: RelevanceNoise=%v", ErrBadWorkload, o.RelevanceNoise)
+	}
+	return nil
+}
+
+// BuildWorkload synthesises topical queries over the network. A topic
+// is seeded at a random article and grown along citation links in
+// either direction (topical neighbourhoods in citation graphs are
+// link-local), then padded with random distractors. quality is the
+// per-article gain scale (the generator's latent quality, or any
+// other graded notion of "the good papers").
+func BuildWorkload(net *hetnet.Network, quality []float64, opts WorkloadOptions) ([]Query, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := net.NumArticles()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty corpus", ErrBadWorkload)
+	}
+	if len(quality) != n {
+		return nil, fmt.Errorf("%w: quality length %d, want %d", ErrBadWorkload, len(quality), n)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	reverse := net.Citations.Transpose()
+	queries := make([]Query, 0, opts.Queries)
+	for q := 0; q < opts.Queries; q++ {
+		topic := growTopic(net, reverse, rng, opts.TopicSize)
+		inTopic := make(map[corpus.ArticleID]bool, len(topic))
+		for _, id := range topic {
+			inTopic[id] = true
+		}
+		query := Query{}
+		for _, id := range topic {
+			query.Candidates = append(query.Candidates, id)
+			query.Relevance = append(query.Relevance, 1+opts.RelevanceNoise*rng.NormFloat64())
+			query.Gain = append(query.Gain, quality[id])
+		}
+		for d := 0; d < opts.Distractors; d++ {
+			// Half the distractors are popularity-biased (sampled as
+			// the target of a random citation, i.e. proportional to
+			// in-degree): term matching surfaces famous papers from
+			// the wrong topic, which is exactly what makes a blind
+			// importance prior dangerous.
+			var id corpus.ArticleID
+			if d%2 == 0 && net.Citations.NumEdges() > 0 {
+				id = randomCitedArticle(net, rng)
+			} else {
+				id = corpus.ArticleID(rng.Intn(n))
+			}
+			if inTopic[id] {
+				continue
+			}
+			query.Candidates = append(query.Candidates, id)
+			query.Relevance = append(query.Relevance, opts.RelevanceNoise*rng.NormFloat64())
+			query.Gain = append(query.Gain, 0)
+		}
+		queries = append(queries, query)
+	}
+	return queries, nil
+}
+
+// randomCitedArticle samples an article proportionally to its
+// in-degree by picking the target of a uniformly random citation
+// edge.
+func randomCitedArticle(net *hetnet.Network, rng *rand.Rand) corpus.ArticleID {
+	g := net.Citations
+	for {
+		u := corpus.ArticleID(rng.Intn(g.NumNodes()))
+		nbrs := g.Neighbors(u)
+		if len(nbrs) > 0 {
+			return nbrs[rng.Intn(len(nbrs))]
+		}
+	}
+}
+
+// growTopic seeds at a random article and expands along citation
+// links (both directions) breadth-first until the topic has size
+// articles (or the neighbourhood is exhausted).
+func growTopic(net *hetnet.Network, reverse *graph.Graph, rng *rand.Rand, size int) []corpus.ArticleID {
+	n := net.NumArticles()
+	seen := make(map[corpus.ArticleID]bool, size)
+	var topic []corpus.ArticleID
+	frontier := []corpus.ArticleID{corpus.ArticleID(rng.Intn(n))}
+	seen[frontier[0]] = true
+	for len(topic) < size && len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		topic = append(topic, id)
+		for _, nb := range net.Citations.Neighbors(id) {
+			if !seen[nb] {
+				seen[nb] = true
+				frontier = append(frontier, nb)
+			}
+		}
+		for _, nb := range reverse.Neighbors(id) {
+			if !seen[nb] {
+				seen[nb] = true
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	return topic
+}
+
+// Blend combines the per-query relevance estimate with a global
+// importance prior using rank interpolation:
+//
+//	score = lambda·relevancePct + (1-lambda)·importancePct
+//
+// where both inputs are converted to within-candidate-set rank
+// percentiles first (score scales are incomparable, exactly as BM25
+// and PageRank are). lambda = 1 is pure relevance.
+func Blend(q Query, importance []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("%w: lambda=%v", ErrBadWorkload, lambda)
+	}
+	imp := make([]float64, len(q.Candidates))
+	for i, id := range q.Candidates {
+		imp[i] = importance[id]
+	}
+	relPct := eval.Percentiles(q.Relevance)
+	impPct := eval.Percentiles(imp)
+	out := make([]float64, len(q.Candidates))
+	for i := range out {
+		out[i] = lambda*relPct[i] + (1-lambda)*impPct[i]
+	}
+	return out, nil
+}
+
+// MeanNDCG scores a blending configuration over the whole workload:
+// the mean NDCG@k of the blended ordering against the graded gains.
+// Queries whose gains are all zero are skipped.
+func MeanNDCG(queries []Query, importance []float64, lambda float64, k int) (float64, error) {
+	var vals []float64
+	for _, q := range queries {
+		blended, err := Blend(q, importance, lambda)
+		if err != nil {
+			return 0, err
+		}
+		v, err := eval.NDCG(blended, q.Gain, k)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	return eval.Mean(vals), nil
+}
+
+// BestLambda sweeps the blending weight over a grid and returns the
+// value with the highest mean NDCG@k, with the full sweep for
+// reporting. The grid is returned in ascending lambda order.
+func BestLambda(queries []Query, importance []float64, k int) (best float64, sweep []LambdaPoint, err error) {
+	grid := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	bestNDCG := -1.0
+	for _, l := range grid {
+		v, err := MeanNDCG(queries, importance, l, k)
+		if err != nil {
+			return 0, nil, err
+		}
+		sweep = append(sweep, LambdaPoint{Lambda: l, NDCG: v})
+		if v > bestNDCG {
+			bestNDCG = v
+			best = l
+		}
+	}
+	sort.Slice(sweep, func(i, j int) bool { return sweep[i].Lambda < sweep[j].Lambda })
+	return best, sweep, nil
+}
+
+// LambdaPoint is one point of the blending sweep.
+type LambdaPoint struct {
+	Lambda float64
+	NDCG   float64
+}

@@ -1,0 +1,175 @@
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/gen"
+	"scholarrank/internal/hetnet"
+)
+
+func testNetwork(t testing.TB) (*hetnet.Network, []float64) {
+	t.Helper()
+	cfg := gen.NewDefaultConfig(2000)
+	cfg.Seed = 12
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hetnet.Build(c.Store), c.Quality
+}
+
+func TestBuildWorkload(t *testing.T) {
+	net, quality := testNetwork(t)
+	opts := DefaultWorkloadOptions()
+	opts.Queries = 25
+	queries, err := BuildWorkload(net, quality, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 25 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	for qi, q := range queries {
+		if len(q.Candidates) != len(q.Relevance) || len(q.Candidates) != len(q.Gain) {
+			t.Fatalf("query %d: misaligned slices", qi)
+		}
+		if len(q.Candidates) < opts.TopicSize {
+			t.Fatalf("query %d: only %d candidates", qi, len(q.Candidates))
+		}
+		var relevant int
+		for i, g := range q.Gain {
+			if g > 0 {
+				relevant++
+				// Truly relevant candidates carry the article's quality.
+				if math.Abs(g-quality[q.Candidates[i]]) > 1e-12 {
+					t.Fatalf("query %d: gain mismatch", qi)
+				}
+			}
+		}
+		if relevant != opts.TopicSize {
+			t.Fatalf("query %d: %d relevant, want %d", qi, relevant, opts.TopicSize)
+		}
+	}
+}
+
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	net, quality := testNetwork(t)
+	opts := DefaultWorkloadOptions()
+	opts.Queries = 5
+	a, err := BuildWorkload(net, quality, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(net, quality, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Candidates) != len(b[i].Candidates) {
+			t.Fatalf("query %d differs", i)
+		}
+		for j := range a[i].Candidates {
+			if a[i].Candidates[j] != b[i].Candidates[j] || a[i].Relevance[j] != b[i].Relevance[j] {
+				t.Fatalf("query %d candidate %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildWorkloadValidation(t *testing.T) {
+	net, quality := testNetwork(t)
+	bad := []WorkloadOptions{
+		{Queries: 0, TopicSize: 5},
+		{Queries: 5, TopicSize: 0},
+		{Queries: 5, TopicSize: 5, Distractors: -1},
+		{Queries: 5, TopicSize: 5, RelevanceNoise: -0.5},
+	}
+	for i, o := range bad {
+		if _, err := BuildWorkload(net, quality, o); !errors.Is(err, ErrBadWorkload) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	if _, err := BuildWorkload(net, quality[:5], DefaultWorkloadOptions()); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("short quality: %v", err)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	q := Query{
+		Candidates: []int32{0, 1, 2},
+		Relevance:  []float64{1, 0.5, 0},
+		Gain:       []float64{1, 0, 0},
+	}
+	importance := []float64{0, 0.5, 1} // opposite of relevance
+	pure, err := Blend(q, importance, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pure[0] > pure[1] && pure[1] > pure[2]) {
+		t.Errorf("lambda=1 not relevance order: %v", pure)
+	}
+	prior, err := Blend(q, importance, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(prior[2] > prior[1] && prior[1] > prior[0]) {
+		t.Errorf("lambda=0 not importance order: %v", prior)
+	}
+	if _, err := Blend(q, importance, 1.5); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("lambda 1.5: %v", err)
+	}
+}
+
+func TestMeanNDCGAndBestLambda(t *testing.T) {
+	net, quality := testNetwork(t)
+	opts := DefaultWorkloadOptions()
+	opts.Queries = 40
+	queries, err := BuildWorkload(net, quality, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfect importance prior = the latent quality itself. Mixing
+	// it in must beat pure noisy relevance.
+	pureRel, err := MeanNDCG(queries, quality, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pureRel) || pureRel <= 0 || pureRel > 1 {
+		t.Fatalf("pure relevance NDCG = %v", pureRel)
+	}
+	best, sweep, err := BestLambda(queries, quality, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 11 {
+		t.Fatalf("sweep size = %d", len(sweep))
+	}
+	if best == 1 {
+		t.Errorf("oracle prior never helped (best lambda = 1)")
+	}
+	var bestNDCG float64
+	for _, p := range sweep {
+		if p.Lambda == best {
+			bestNDCG = p.NDCG
+		}
+	}
+	if bestNDCG < pureRel {
+		t.Errorf("best blend %v below pure relevance %v", bestNDCG, pureRel)
+	}
+	// Sweep is in ascending lambda order.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Lambda <= sweep[i-1].Lambda {
+			t.Fatalf("sweep not sorted: %+v", sweep)
+		}
+	}
+}
+
+func TestBuildWorkloadEmptyCorpus(t *testing.T) {
+	net := hetnet.Build(corpus.NewStore())
+	if _, err := BuildWorkload(net, nil, DefaultWorkloadOptions()); !errors.Is(err, ErrBadWorkload) {
+		t.Errorf("empty corpus: %v", err)
+	}
+}

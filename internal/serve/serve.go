@@ -1,0 +1,336 @@
+// Package serve implements the HTTP ranking service behind the
+// sarserve command: query-independent scores computed once, offline,
+// and exposed as a static signal for a search stack to blend with
+// query relevance.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/rank"
+)
+
+// maxTopK bounds the /top page size.
+const maxTopK = 1000
+
+// Server serves a ranked corpus. Build one with New; it is immutable
+// and safe for concurrent requests.
+type Server struct {
+	store  *corpus.Store
+	net    *hetnet.Network
+	scores *core.Scores
+	order  []int // article indices by descending importance
+	pos    []int // pos[article] = 1-based rank position
+
+	// Entity rankings derived from the article scores (shrunk mean).
+	authorScores []float64
+	venueScores  []float64
+
+	// Related-article index (bidirectional personalised walk).
+	related *rank.RelatedIndex
+	// Explainer answers /compare signal breakdowns in O(1).
+	explainer *core.Explainer
+}
+
+// New ranks the corpus and returns a ready Server.
+func New(store *corpus.Store, opts core.Options) (*Server, error) {
+	net := hetnet.Build(store)
+	scores, err := core.Rank(net, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rank: %w", err)
+	}
+	return newServer(store, net, scores)
+}
+
+// NewFromScores wraps precomputed scores (for tests and for callers
+// that already ran the ranking).
+func NewFromScores(store *corpus.Store, scores *core.Scores) (*Server, error) {
+	return newServer(store, hetnet.Build(store), scores)
+}
+
+func newServer(store *corpus.Store, net *hetnet.Network, scores *core.Scores) (*Server, error) {
+	order := rank.TopK(scores.Importance, store.NumArticles())
+	pos := make([]int, store.NumArticles())
+	for p, i := range order {
+		pos[i] = p + 1
+	}
+	authorScores, err := rank.AuthorRank(net, scores.Importance, rank.EntityRankOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: author ranking: %w", err)
+	}
+	venueScores, err := rank.VenueRank(net, scores.Importance, rank.EntityRankOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: venue ranking: %w", err)
+	}
+	related, err := rank.NewRelatedIndex(net, rank.RelatedOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: related index: %w", err)
+	}
+	return &Server{
+		store: store, net: net, scores: scores, order: order, pos: pos,
+		authorScores: authorScores, venueScores: venueScores,
+		related:   related,
+		explainer: core.NewExplainer(scores),
+	}, nil
+}
+
+// ArticleView is the JSON shape of one ranked article.
+type ArticleView struct {
+	Key        string  `json:"key"`
+	Title      string  `json:"title,omitempty"`
+	Year       int     `json:"year"`
+	Rank       int     `json:"rank"`
+	Importance float64 `json:"importance"`
+	Prestige   float64 `json:"prestige"`
+	Popularity float64 `json:"popularity"`
+	Hetero     float64 `json:"hetero"`
+	Percentile float64 `json:"percentile"`
+}
+
+func (s *Server) view(i int) ArticleView {
+	a := s.store.Article(corpus.ArticleID(i))
+	n := len(s.order)
+	pct := 1.0
+	if n > 1 {
+		pct = 1 - float64(s.pos[i]-1)/float64(n-1)
+	}
+	return ArticleView{
+		Key: a.Key, Title: a.Title, Year: a.Year, Rank: s.pos[i],
+		Importance: s.scores.Importance[i],
+		Prestige:   s.scores.Prestige[i],
+		Popularity: s.scores.Popularity[i],
+		Hetero:     s.scores.Hetero[i],
+		Percentile: pct,
+	}
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /top", s.handleTop)
+	mux.HandleFunc("GET /article", s.handleArticle)
+	mux.HandleFunc("GET /compare", s.handleCompare)
+	mux.HandleFunc("GET /authors", s.handleAuthors)
+	mux.HandleFunc("GET /venues", s.handleVenues)
+	mux.HandleFunc("GET /related", s.handleRelated)
+	return mux
+}
+
+// handleRelated returns the articles most related to a seed article:
+// the "readers of this paper also need" endpoint.
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	id, ok := s.store.ArticleByKey(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown article %q", key)
+		return
+	}
+	k, ok := parseK(w, r, s.store.NumArticles())
+	if !ok {
+		return
+	}
+	related, err := s.related.Related(id, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "related: %v", err)
+		return
+	}
+	out := make([]ArticleView, 0, len(related))
+	for _, i := range related {
+		out = append(out, s.view(i))
+	}
+	writeJSON(w, out)
+}
+
+// EntityView is the JSON shape of one ranked author or venue.
+type EntityView struct {
+	Key      string  `json:"key"`
+	Name     string  `json:"name,omitempty"`
+	Rank     int     `json:"rank"`
+	Score    float64 `json:"score"`
+	Articles int     `json:"articles"`
+}
+
+func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
+	k, ok := parseK(w, r, len(s.authorScores))
+	if !ok {
+		return
+	}
+	out := make([]EntityView, 0, k)
+	for pos, i := range rank.TopK(s.authorScores, k) {
+		a := s.store.Author(corpus.AuthorID(i))
+		out = append(out, EntityView{
+			Key: a.Key, Name: a.Name, Rank: pos + 1,
+			Score:    s.authorScores[i],
+			Articles: len(s.net.AuthorArticles(corpus.AuthorID(i))),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
+	k, ok := parseK(w, r, len(s.venueScores))
+	if !ok {
+		return
+	}
+	out := make([]EntityView, 0, k)
+	for pos, i := range rank.TopK(s.venueScores, k) {
+		v := s.store.Venue(corpus.VenueID(i))
+		out = append(out, EntityView{
+			Key: v.Key, Name: v.Name, Rank: pos + 1,
+			Score:    s.venueScores[i],
+			Articles: len(s.net.VenueArticles(corpus.VenueID(i))),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// parseK extracts and validates the k query parameter, clamped to n.
+func parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
+	k := 20
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 || parsed > maxTopK {
+			httpError(w, http.StatusBadRequest, "k must be an integer in 1..%d", maxTopK)
+			return 0, false
+		}
+		k = parsed
+	}
+	if k > n {
+		k = n
+	}
+	return k, true
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k, ok := parseK(w, r, len(s.order))
+	if !ok {
+		return
+	}
+	out := make([]ArticleView, 0, k)
+	for _, i := range s.order[:k] {
+		out = append(out, s.view(i))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	id, ok := s.store.ArticleByKey(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown article %q", key)
+		return
+	}
+	writeJSON(w, s.view(int(id)))
+}
+
+// handleCompare reports the relative order of two articles with their
+// full signal breakdown — the "why is X above Y" debugging endpoint.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ka, kb := q.Get("a"), q.Get("b")
+	if ka == "" || kb == "" {
+		httpError(w, http.StatusBadRequest, "need a and b parameters")
+		return
+	}
+	ia, ok := s.store.ArticleByKey(ka)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown article %q", ka)
+		return
+	}
+	ib, ok := s.store.ArticleByKey(kb)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown article %q", kb)
+		return
+	}
+	va, vb := s.view(int(ia)), s.view(int(ib))
+	winner := va.Key
+	if vb.Rank < va.Rank {
+		winner = vb.Key
+	}
+	resp := map[string]any{"a": va, "b": vb, "winner": winner}
+	if ia != ib {
+		ex, err := s.explainer.Explain(int(ia), int(ib))
+		if err == nil {
+			resp["dominant_signal"] = ex.Dominant
+			resp["signal_deltas"] = ex.Signals
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	imp := s.scores.Importance
+	var nonZero int
+	for _, v := range imp {
+		if v > 0 {
+			nonZero++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"articles":            s.store.NumArticles(),
+		"citations":           s.store.NumCitations(),
+		"authors":             s.store.NumAuthors(),
+		"venues":              s.store.NumVenues(),
+		"nonzero_importance":  nonZero,
+		"prestige_iters":      s.scores.PrestigeStats.Iterations,
+		"hetero_iters":        s.scores.HeteroStats.Iterations,
+		"prestige_converged":  s.scores.PrestigeStats.Converged,
+		"hetero_converged":    s.scores.HeteroStats.Converged,
+		"importance_top_mean": topMean(imp, s.order, 100),
+	})
+}
+
+// topMean averages the importance of the top-k articles.
+func topMean(imp []float64, order []int, k int) float64 {
+	if k > len(order) {
+		k = len(order)
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range order[:k] {
+		sum += imp[i]
+	}
+	return sum / float64(k)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// Percentile exposes the rank percentile of an article key, used by
+// library callers embedding the server.
+func (s *Server) Percentile(key string) (float64, bool) {
+	id, ok := s.store.ArticleByKey(key)
+	if !ok {
+		return 0, false
+	}
+	return s.view(int(id)).Percentile, true
+}

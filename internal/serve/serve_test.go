@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
+)
+
+// fixtureServer builds a 4-article ranked server.
+func fixtureServer(t *testing.T) *Server {
+	t.Helper()
+	s := corpus.NewStore()
+	au, _ := s.InternAuthor("au", "Author")
+	ids := make([]corpus.ArticleID, 0, 4)
+	for i, year := range []int{2000, 2005, 2010, 2015} {
+		id, err := s.AddArticle(corpus.ArticleMeta{
+			Key: string(rune('a' + i)), Title: "T", Year: year,
+			Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, c := range [][2]int{{1, 0}, {2, 0}, {2, 1}, {3, 0}} {
+		if err := s.AddCitation(ids[c[0]], ids[c[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := New(s, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz status = %d", rec.Code)
+	}
+}
+
+func TestTopDefault(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/top")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out []ArticleView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d articles", len(out))
+	}
+	if out[0].Key != "a" {
+		t.Errorf("top article = %q, want the most-cited (a)", out[0].Key)
+	}
+	if out[0].Rank != 1 || out[0].Percentile != 1 {
+		t.Errorf("top rank/percentile = %d/%v", out[0].Rank, out[0].Percentile)
+	}
+	// Importance must be non-increasing down the list.
+	for i := 1; i < len(out); i++ {
+		if out[i].Importance > out[i-1].Importance {
+			t.Errorf("order violated at %d", i)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/top?k=2")
+	var out []ArticleView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("k=2 returned %d", len(out))
+	}
+	for _, bad := range []string{"/top?k=0", "/top?k=-1", "/top?k=abc", "/top?k=99999"} {
+		if rec := get(t, h, bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestArticle(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/article?key=b")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out ArticleView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Key != "b" || out.Year != 2005 || out.Rank < 1 || out.Rank > 4 {
+		t.Errorf("article = %+v", out)
+	}
+	if rec := get(t, h, "/article"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing key status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/article?key=zzz"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown key status = %d", rec.Code)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/compare?a=a&b=d")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		A, B   ArticleView
+		Winner string
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "a" {
+		t.Errorf("winner = %q, want a (3 citations)", out.Winner)
+	}
+	// The explanation fields ride along.
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["dominant_signal"] == nil || raw["signal_deltas"] == nil {
+		t.Errorf("explanation missing from compare: %v", raw)
+	}
+	if rec := get(t, h, "/compare?a=a"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing b status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/compare?a=a&b=zzz"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown b status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/compare?a=zzz&b=a"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown a status = %d", rec.Code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/stats")
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["articles"].(float64) != 4 || out["citations"].(float64) != 4 {
+		t.Errorf("stats = %v", out)
+	}
+	if conv, ok := out["prestige_converged"].(bool); !ok || !conv {
+		t.Errorf("prestige_converged = %v", out["prestige_converged"])
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	req := httptest.NewRequest(http.MethodPost, "/top", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /top status = %d", rec.Code)
+	}
+}
+
+func TestAuthorsEndpoint(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/authors?k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out []EntityView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 { // fixture has one author
+		t.Fatalf("authors = %d", len(out))
+	}
+	if out[0].Key != "au" || out[0].Articles != 4 || out[0].Rank != 1 {
+		t.Errorf("author view = %+v", out[0])
+	}
+	if rec := get(t, h, "/authors?k=abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad k status = %d", rec.Code)
+	}
+}
+
+func TestVenuesEndpoint(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/venues")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out []EntityView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 { // fixture has no venues
+		t.Errorf("venues = %v", out)
+	}
+}
+
+func TestRelatedEndpoint(t *testing.T) {
+	h := fixtureServer(t).Handler()
+	rec := get(t, h, "/related?key=a&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out []ArticleView
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no related articles for the most-cited node")
+	}
+	for _, v := range out {
+		if v.Key == "a" {
+			t.Error("seed returned as its own relative")
+		}
+	}
+	if rec := get(t, h, "/related"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing key status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/related?key=zzz"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown key status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/related?key=a&k=0"); rec.Code != http.StatusBadRequest {
+		t.Errorf("k=0 status = %d", rec.Code)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	srv := fixtureServer(t)
+	p, ok := srv.Percentile("a")
+	if !ok || p != 1 {
+		t.Errorf("Percentile(a) = %v, %v", p, ok)
+	}
+	if _, ok := srv.Percentile("zzz"); ok {
+		t.Error("unknown key reported ok")
+	}
+}
+
+func TestSingleArticlePercentile(t *testing.T) {
+	s := corpus.NewStore()
+	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "only", Year: 2001, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(s, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := srv.Percentile("only")
+	if !ok || p != 1 {
+		t.Errorf("single-article percentile = %v, %v", p, ok)
+	}
+}

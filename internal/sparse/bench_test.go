@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"scholarrank/internal/graph"
+)
+
+// benchGraph builds a citation-shaped random graph: each node cites
+// ~12 earlier nodes.
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	gb := graph.NewBuilder(n, false)
+	for i := 1; i < n; i++ {
+		for r := 0; r < 12; r++ {
+			_ = gb.AddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)))
+		}
+	}
+	return gb.Build()
+}
+
+func BenchmarkNewTransition(b *testing.B) {
+	g := benchGraph(b, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewTransition(g, 1)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	g := benchGraph(b, 50_000)
+	t := NewTransition(g, 1)
+	x := make([]float64, t.N())
+	Uniform(x)
+	dst := make([]float64, t.N())
+	b.SetBytes(int64(g.NumEdges() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MulVec(dst, x)
+	}
+}
+
+func BenchmarkDampedWalk(b *testing.B) {
+	g := benchGraph(b, 50_000)
+	t := NewTransition(g, 1)
+	teleport := make([]float64, t.N())
+	Uniform(teleport)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DampedWalk(t, 0.85, teleport, IterOptions{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussSeidelPageRank(b *testing.B) {
+	g := benchGraph(b, 50_000)
+	t := NewTransition(g, 1)
+	teleport := make([]float64, t.N())
+	Uniform(teleport)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := t.GaussSeidelPageRank(0.85, teleport, IterOptions{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkL1Diff(b *testing.B) {
+	x := make([]float64, 100_000)
+	y := make([]float64, 100_000)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 0.5
+	}
+	b.SetBytes(int64(len(x) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = L1Diff(x, y)
+	}
+}

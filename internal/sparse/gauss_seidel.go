@@ -1,0 +1,59 @@
+package sparse
+
+// GaussSeidelPageRank solves the PageRank fixed point
+//
+//	x = d·(Mᵀx + danglingMass(x)·v) + (1-d)·v
+//
+// by in-place Gauss–Seidel sweeps instead of Jacobi-style power
+// iteration: within one sweep, updating x[i] immediately uses the
+// already-updated values of x[0..i-1]. On citation graphs — whose
+// edges point backward in time, making the matrix nearly triangular
+// when articles are indexed chronologically — a sweep propagates
+// information much further than a power step, roughly halving the
+// iteration count at equal tolerance. The dangling-mass term is
+// frozen per sweep (recomputed at sweep start), which preserves the
+// fixed point.
+//
+// teleport must be a probability distribution of length N().
+func (t *Transition) GaussSeidelPageRank(damping float64, teleport []float64, opts IterOptions) ([]float64, IterStats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	n := t.n
+	x := make([]float64, n)
+	copy(x, teleport)
+	prev := make([]float64, n)
+	var st IterStats
+	for st.Iterations = 1; st.Iterations <= opts.MaxIter; st.Iterations++ {
+		copy(prev, x)
+		dm := t.DanglingMass(x)
+		// Sweep from the highest index down: citation edges point
+		// backward in time, so with chronological ids an article's
+		// citers (its in-neighbors) have higher indices and are
+		// already updated when the article itself is — one sweep then
+		// pushes mass through whole citation chains.
+		for v := n - 1; v >= 0; v-- {
+			var s float64
+			for i := t.offsets[v]; i < t.offsets[v+1]; i++ {
+				s += x[t.sources[i]] * t.norm[i]
+			}
+			x[v] = damping*(s+dm*teleport[v]) + (1-damping)*teleport[v]
+		}
+		st.Residual = L1Diff(x, prev)
+		if opts.Trace {
+			st.ResidualTrace = append(st.ResidualTrace, st.Residual)
+		}
+		if st.Residual < opts.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	if st.Iterations > opts.MaxIter {
+		st.Iterations = opts.MaxIter
+	}
+	// Gauss–Seidel does not preserve total mass mid-stream; normalise
+	// so the result is comparable with the power-iteration solution.
+	Normalize1(x)
+	return x, st, nil
+}

@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default iteration parameters shared by all fixed-point solvers in
+// this repository.
+const (
+	DefaultTol     = 1e-9
+	DefaultMaxIter = 200
+)
+
+// ErrBadOptions reports invalid iteration options.
+var ErrBadOptions = errors.New("sparse: invalid iteration options")
+
+// IterOptions controls a fixed-point iteration.
+type IterOptions struct {
+	// Tol is the L1 convergence threshold. Zero selects DefaultTol.
+	Tol float64
+	// MaxIter bounds the number of iterations. Zero selects
+	// DefaultMaxIter.
+	MaxIter int
+	// Trace, when true, records the residual after every iteration in
+	// IterStats.ResidualTrace.
+	Trace bool
+}
+
+func (o IterOptions) withDefaults() (IterOptions, error) {
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	if o.Tol < 0 || o.MaxIter < 0 {
+		return o, fmt.Errorf("%w: tol=%v maxIter=%d", ErrBadOptions, o.Tol, o.MaxIter)
+	}
+	return o, nil
+}
+
+// IterStats reports how a fixed-point iteration behaved.
+type IterStats struct {
+	Iterations    int
+	Residual      float64 // final L1 residual
+	Converged     bool
+	ResidualTrace []float64 // per-iteration residuals when Trace was set
+}
+
+// StepFunc computes one fixed-point step: given the current vector
+// src, it must fill dst with the next vector. dst and src never alias.
+type StepFunc func(dst, src []float64)
+
+// DampedWalk computes the stationary distribution of the damped
+// random walk defined by the transition operator t:
+//
+//	x' = d·(Mᵀx + danglingMass(x)·v) + (1-d)·v
+//
+// where v is the teleport distribution (the caller must pass a
+// probability vector of length t.N()). It is the shared engine behind
+// every PageRank-family computation in this repository.
+func DampedWalk(t *Transition, damping float64, teleport []float64, opts IterOptions) ([]float64, IterStats, error) {
+	return DampedWalkFrom(t, damping, teleport, teleport, opts)
+}
+
+// DampedWalkFrom is DampedWalk with an explicit starting vector. The
+// fixed point does not depend on init, but starting from a nearby
+// solution (a previous parameterisation's result) cuts the iteration
+// count — the warm-start path used by parameter sweeps.
+func DampedWalkFrom(t *Transition, damping float64, teleport, init []float64, opts IterOptions) ([]float64, IterStats, error) {
+	step := func(dst, src []float64) {
+		t.MulVec(dst, src)
+		dm := t.DanglingMass(src)
+		for i := range dst {
+			dst[i] = damping*(dst[i]+dm*teleport[i]) + (1-damping)*teleport[i]
+		}
+	}
+	return FixedPoint(init, step, opts)
+}
+
+// FixedPoint iterates x ← step(x) from the given initial vector until
+// the L1 change drops below Tol or MaxIter is reached. It returns the
+// final vector (a fresh slice; init is not modified).
+func FixedPoint(init []float64, step StepFunc, opts IterOptions) ([]float64, IterStats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	cur := Clone(init)
+	next := make([]float64, len(init))
+	var st IterStats
+	for st.Iterations = 1; st.Iterations <= opts.MaxIter; st.Iterations++ {
+		step(next, cur)
+		st.Residual = L1Diff(next, cur)
+		if opts.Trace {
+			st.ResidualTrace = append(st.ResidualTrace, st.Residual)
+		}
+		cur, next = next, cur
+		if st.Residual < opts.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	if st.Iterations > opts.MaxIter {
+		st.Iterations = opts.MaxIter
+	}
+	return cur, st, nil
+}

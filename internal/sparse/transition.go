@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+
+	"scholarrank/internal/graph"
+)
+
+// Transition is the row-stochastic random-walk operator of a directed
+// graph, stored in pull (transposed) form so that applying it to a
+// vector parallelises cleanly across destination rows:
+//
+//	(Mᵀx)[v] = Σ_{u→v} x[u] · w(u,v) / W(u)
+//
+// where W(u) is the total out-weight of u. Nodes with no out-edges
+// (dangling nodes) contribute no mass through M; the caller decides
+// how to redistribute their mass (see DanglingMass).
+type Transition struct {
+	n        int
+	offsets  []int64   // CSR over destinations; len n+1
+	sources  []int32   // citing node for each in-edge
+	norm     []float64 // w(u,v)/W(u), aligned with sources
+	dangling []int32   // nodes with zero out-weight
+	workers  int
+}
+
+// NewTransition builds the operator from g. Edge weights are taken
+// from the graph when present, otherwise every edge has weight 1.
+// workers sets the parallelism of MulVec; values < 1 select
+// runtime.NumCPU().
+func NewTransition(g *graph.Graph, workers int) *Transition {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	n := g.NumNodes()
+	outW := make([]float64, n)
+	for u := 0; u < n; u++ {
+		outW[u] = g.OutWeight(graph.NodeID(u))
+	}
+	tr := g.Transpose()
+	t := &Transition{
+		n:       n,
+		offsets: make([]int64, n+1),
+		sources: make([]int32, tr.NumEdges()),
+		norm:    make([]float64, tr.NumEdges()),
+		workers: workers,
+	}
+	var pos int64
+	for v := 0; v < n; v++ {
+		t.offsets[v] = pos
+		srcs := tr.Neighbors(graph.NodeID(v))
+		ws := tr.EdgeWeights(graph.NodeID(v))
+		for i, u := range srcs {
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			if outW[u] <= 0 {
+				continue // zero-weight row: treated as dangling
+			}
+			t.sources[pos] = int32(u)
+			t.norm[pos] = w / outW[u]
+			pos++
+		}
+	}
+	t.offsets[n] = pos
+	t.sources = t.sources[:pos]
+	t.norm = t.norm[:pos]
+	for u := 0; u < n; u++ {
+		if outW[u] <= 0 {
+			t.dangling = append(t.dangling, int32(u))
+		}
+	}
+	return t
+}
+
+// N returns the dimension of the operator.
+func (t *Transition) N() int { return t.n }
+
+// NumDangling returns the number of dangling nodes.
+func (t *Transition) NumDangling() int { return len(t.dangling) }
+
+// SetWorkers overrides the MulVec parallelism. Values < 1 select
+// runtime.NumCPU().
+func (t *Transition) SetWorkers(w int) {
+	if w < 1 {
+		w = runtime.NumCPU()
+	}
+	t.workers = w
+}
+
+// DanglingMass returns the total probability mass sitting on dangling
+// nodes in x.
+func (t *Transition) DanglingMass(x []float64) float64 {
+	var s float64
+	for _, u := range t.dangling {
+		s += x[u]
+	}
+	return s
+}
+
+// MulVec computes dst = Mᵀ·x, overwriting dst. dst and x must both
+// have length N() and must not alias.
+func (t *Transition) MulVec(dst, x []float64) {
+	if t.workers <= 1 || t.n < 4096 {
+		t.mulRange(dst, x, 0, t.n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (t.n + t.workers - 1) / t.workers
+	for w := 0; w < t.workers; w++ {
+		lo := w * chunk
+		if lo >= t.n {
+			break
+		}
+		hi := lo + chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.mulRange(dst, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (t *Transition) mulRange(dst, x []float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		var s float64
+		for i := t.offsets[v]; i < t.offsets[v+1]; i++ {
+			s += x[t.sources[i]] * t.norm[i]
+		}
+		dst[v] = s
+	}
+}

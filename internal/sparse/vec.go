@@ -1,0 +1,159 @@
+// Package sparse provides the numeric kernels shared by every
+// ranking algorithm in this repository: dense vector helpers, a
+// row-stochastic transition operator built from a directed graph
+// (with optional parallel application), and a generic power-iteration
+// driver with convergence tracing.
+package sparse
+
+import "math"
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Uniform fills x with 1/len(x), the uniform probability vector.
+// It is a no-op on an empty slice.
+func Uniform(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	Fill(x, 1/float64(len(x)))
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// L1Diff returns the L1 distance ||a - b||_1. The slices must have
+// equal length.
+func L1Diff(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// MaxDiff returns the L∞ distance max_i |a_i - b_i|.
+func MaxDiff(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Normalize1 scales x in place so that its elements sum to 1 and
+// returns the original sum. If the sum is zero or not finite, x is
+// left unchanged and the sum is returned.
+func Normalize1(x []float64) float64 {
+	s := Sum(x)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return s
+	}
+	inv := 1 / s
+	for i := range x {
+		x[i] *= inv
+	}
+	return s
+}
+
+// NormalizeMax scales x in place so its maximum element is 1 and
+// returns the original maximum. A zero vector is left unchanged.
+func NormalizeMax(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	inv := 1 / m
+	for i := range x {
+		x[i] *= inv
+	}
+	return m
+}
+
+// MinMaxScale rescales x in place to [0, 1]. A constant vector maps
+// to all zeros.
+func MinMaxScale(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		Fill(x, 0)
+		return
+	}
+	inv := 1 / (hi - lo)
+	for i := range x {
+		x[i] = (x[i] - lo) * inv
+	}
+}
+
+// Scale multiplies x in place by c.
+func Scale(x []float64, c float64) {
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// AddScaled computes dst[i] += c * x[i].
+func AddScaled(dst []float64, c float64, x []float64) {
+	for i := range dst {
+		dst[i] += c * x[i]
+	}
+}
+
+// AddConst adds c to every element of x.
+func AddConst(x []float64, c float64) {
+	for i := range x {
+		x[i] += c
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
