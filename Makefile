@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test test-race bench-quick bench
+
+## check: everything CI runs — vet, build, race-detector tests on the
+## parallel packages, then the full test suite.
+check: vet build test-race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## test-race: the packages that exercise the worker pool and fused
+## kernels, under the race detector.
+test-race:
+	$(GO) test -race ./internal/sparse/... ./internal/core/... ./internal/hetnet/...
+
+## bench-quick: the headline solver benchmark on the shrunken corpus
+## (seconds; EXPERIMENTS.md §F6 records the reference numbers).
+bench-quick:
+	QISA_BENCH_QUICK=1 $(GO) test -run xxx -bench 'BenchmarkFigure6Parallel$$' -benchtime 20x -benchmem .
+
+## bench: every table/figure benchmark on the full-size corpora.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -35,9 +35,10 @@ func main() {
 	log.SetPrefix("sarserve: ")
 
 	var (
-		in     = flag.String("in", "", "corpus file (jsonl or tsv); required")
-		format = flag.String("format", "", "corpus format override")
-		addr   = flag.String("addr", ":8080", "listen address")
+		in      = flag.String("in", "", "corpus file (jsonl or tsv); required")
+		format  = flag.String("format", "", "corpus format override")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -51,7 +52,9 @@ func main() {
 	}
 	log.Printf("ranking %d articles...", store.NumArticles())
 	start := time.Now()
-	srv, err := serve.New(store, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	srv, err := serve.New(store, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -241,5 +241,7 @@ type Scores struct {
 // network repeatedly under different options should hold an Engine
 // instead, which caches the parameter-independent substrate.
 func Rank(net *hetnet.Network, opts Options) (*Scores, error) {
-	return NewEngine(net).Rank(opts)
+	eng := NewEngine(net)
+	defer eng.Close()
+	return eng.Rank(opts)
 }

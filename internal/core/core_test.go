@@ -167,7 +167,7 @@ func TestPrestigeNoDecayEqualsPlainPageRank(t *testing.T) {
 	opts := DefaultOptions()
 	opts.DisableTimeDecay = true
 	opts = opts.effective()
-	gapTrans, err := NewEngine(net).gapTransition(opts.RhoGap, 1)
+	gapTrans, err := NewEngine(net).gapTransition(opts.RhoGap, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestGapWeightedGraph(t *testing.T) {
 func TestHeteroColdStartAuthorInheritance(t *testing.T) {
 	net := fixture(t)
 	opts := DefaultOptions()
-	h, stats, err := computeHetero(net, opts, sparse.NewTransition(net.Citations, 1), nil)
+	h, stats, err := computeHetero(net, opts, sparse.NewTransition(net.Citations, nil), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

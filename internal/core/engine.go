@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/sparse"
 )
@@ -8,15 +10,22 @@ import (
 // Engine ranks a fixed network repeatedly under varying options,
 // caching the parameter-independent substrate between calls: the
 // citation transition operator (shared by the popularity and hetero
-// stages) and one gap-weighted transition per distinct RhoGap value
-// (the prestige stage). Parameter sweeps — figures F1 and F2, the
-// ablation table, interactive tuning — skip the O(m log m) rebuild
-// that a fresh Rank call pays.
+// stages), one gap-weighted transition per distinct RhoGap value (the
+// prestige stage), and a persistent worker pool shared by every
+// solver kernel. Gap-weighted transitions are derived from the cached
+// citation operator with Reweighted, so only the per-edge norm is
+// recomputed — the CSR structure, dangling set, and chunk plan are
+// shared. Parameter sweeps — figures F1 and F2, the ablation table,
+// interactive tuning — skip the O(m log m) rebuild that a fresh Rank
+// call pays.
 //
-// An Engine is safe for sequential use only: Rank adjusts worker
-// counts on the cached operators.
+// An Engine is safe for sequential use only: Rank adjusts the worker
+// pool on the cached operators. Call Close when done to release the
+// pool's goroutines; a closed (or never-used) Engine still ranks,
+// falling back to serial kernels.
 type Engine struct {
 	net      *hetnet.Network
+	pool     *sparse.Pool
 	citTrans *sparse.Transition
 	gapTrans map[float64]*sparse.Transition
 	// Warm starts: the previous raw prestige solution per RhoGap, and
@@ -40,30 +49,61 @@ func NewEngine(net *hetnet.Network) *Engine {
 // Network returns the wrapped network.
 func (e *Engine) Network() *hetnet.Network { return e.net }
 
-func (e *Engine) citationTransition(workers int) *sparse.Transition {
-	if e.citTrans == nil {
-		e.citTrans = sparse.NewTransition(e.net.Citations, workers)
+// Close releases the engine's worker pool. The engine remains usable;
+// subsequent Rank calls re-create the pool on demand.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
 	}
-	e.citTrans.SetWorkers(workers)
+}
+
+// ensurePool returns a pool sized for the requested worker count
+// (values < 1 mean NumCPU), reusing the cached one when the size
+// matches and re-spawning it otherwise. The count is clamped to
+// GOMAXPROCS: extra worker goroutines cannot add CPU throughput, they
+// only add scheduling overhead to every kernel sweep.
+func (e *Engine) ensurePool(workers int) *sparse.Pool {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if e.pool != nil && e.pool.Workers() == workers {
+		return e.pool
+	}
+	if e.pool != nil {
+		e.pool.Close()
+	}
+	e.pool = sparse.NewPool(workers)
+	return e.pool
+}
+
+func (e *Engine) citationTransition(pool *sparse.Pool) *sparse.Transition {
+	if e.citTrans == nil {
+		e.citTrans = sparse.NewTransition(e.net.Citations, pool)
+	}
+	e.citTrans.SetPool(pool)
 	return e.citTrans
 }
 
-func (e *Engine) gapTransition(rho float64, workers int) (*sparse.Transition, error) {
+func (e *Engine) gapTransition(rho float64, pool *sparse.Pool) (*sparse.Transition, error) {
 	if t, ok := e.gapTrans[rho]; ok {
-		t.SetWorkers(workers)
+		t.SetPool(pool)
 		return t, nil
 	}
 	if rho == 0 {
 		// No decay: the gap-weighted graph equals the citation graph.
-		t := e.citationTransition(workers)
+		t := e.citationTransition(pool)
 		e.gapTrans[0] = t
 		return t, nil
 	}
-	g, err := gapWeightedGraph(e.net, rho)
+	weight, err := gapWeightFunc(e.net, rho)
 	if err != nil {
 		return nil, err
 	}
-	t := sparse.NewTransition(g, workers)
+	t := e.citationTransition(pool).Reweighted(weight)
 	e.gapTrans[rho] = t
 	return t, nil
 }
@@ -81,10 +121,8 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 			HeteroStats:   sparse.IterStats{Converged: true},
 		}, nil
 	}
-	// Transition constructors and SetWorkers both treat values < 1 as
-	// "use NumCPU", so Workers passes through unmodified.
-	workers := opts.Workers
-	gapTrans, err := e.gapTransition(opts.RhoGap, workers)
+	pool := e.ensurePool(opts.Workers)
+	gapTrans, err := e.gapTransition(opts.RhoGap, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +136,7 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 		return nil, err
 	}
 	popularity := computePopularity(e.net, opts)
-	hetero, hStats, err := computeHetero(e.net, opts, e.citationTransition(workers), e.warmHetero)
+	hetero, hStats, err := computeHetero(e.net, opts, e.citationTransition(pool), pool, e.warmHetero)
 	if err != nil {
 		return nil, err
 	}

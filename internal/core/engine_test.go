@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/hetnet"
@@ -135,4 +137,44 @@ func TestEngineEmptyNetwork(t *testing.T) {
 	if len(sc.Importance) != 0 {
 		t.Errorf("empty engine scores: %+v", sc)
 	}
+}
+
+// TestEngineWorkersRaceAndLeak exercises Rank across worker counts —
+// under -race this doubles as the data-race check on the pooled
+// kernels — then asserts Close releases every pool goroutine. Pool
+// resizes inside the loop also cover the close-and-respawn path.
+func TestEngineWorkersRaceAndLeak(t *testing.T) {
+	net := fixture(t)
+	before := runtime.NumGoroutine()
+	eng := NewEngine(net)
+	var base *Scores
+	for _, workers := range []int{1, 2, 4, 2} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		sc, err := eng.Rank(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = sc
+		} else if d := sparse.MaxDiff(base.Importance, sc.Importance); d > 1e-12 {
+			t.Errorf("workers=%d deviates from workers=1 by %v", workers, d)
+		}
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool goroutines leaked: before=%d after=%d",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A closed engine still ranks (serial fallback pools are re-created
+	// on demand).
+	if _, err := eng.Rank(DefaultOptions()); err != nil {
+		t.Fatalf("rank after Close: %v", err)
+	}
+	eng.Close()
 }

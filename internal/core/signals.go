@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"slices"
+	"sort"
 
 	"scholarrank/internal/graph"
 	"scholarrank/internal/hetnet"
@@ -49,23 +52,70 @@ func applyFade(net *hetnet.Network, opts Options, raw []float64) ([]float64, err
 	return out, nil
 }
 
-// gapWeightedGraph rebuilds the citation graph with edge weights
-// exp(-rho·gap) where gap is the year difference between citing and
-// cited article. rho = 0 reproduces the unweighted graph.
-func gapWeightedGraph(net *hetnet.Network, rho float64) (*graph.Graph, error) {
+// gapWeightFunc returns the edge-weight function exp(-rho·gap) where
+// gap is the year difference between citing and cited article.
+// Publication years come from a small set, so the weights are
+// precomputed into a dense year-pair table indexed by per-article
+// year indices — per edge the function is two array reads and a table
+// lookup, no exp and no map probe. Corpora with pathologically many
+// distinct years fall back to a map memoised per distinct gap.
+// rho = 0 reproduces uniform weights.
+func gapWeightFunc(net *hetnet.Network, rho float64) (func(u, v int32) float64, error) {
 	kernel, err := temporal.NewExponential(rho)
 	if err != nil {
 		return nil, fmt.Errorf("core: gap kernel: %w", err)
+	}
+	years := append([]float64(nil), net.Years...)
+	slices.Sort(years)
+	years = slices.Compact(years)
+	if ny := len(years); ny*ny <= 1<<16 {
+		yearIdx := make([]int32, len(net.Years))
+		for i, y := range net.Years {
+			yearIdx[i] = int32(sort.SearchFloat64s(years, y))
+		}
+		table := make([]float64, ny*ny)
+		for i, yu := range years {
+			for j, yv := range years {
+				gap := yu - yv
+				if gap < 0 {
+					gap = 0 // metadata noise: citing an "in press" article
+				}
+				table[i*ny+j] = kernel.Weight(gap)
+			}
+		}
+		return func(u, v int32) float64 {
+			return table[int(yearIdx[u])*ny+int(yearIdx[v])]
+		}, nil
+	}
+	lut := make(map[float64]float64)
+	return func(u, v int32) float64 {
+		gap := net.Years[u] - net.Years[v]
+		if gap < 0 {
+			gap = 0
+		}
+		w, ok := lut[gap]
+		if !ok {
+			w = kernel.Weight(gap)
+			lut[gap] = w
+		}
+		return w
+	}, nil
+}
+
+// gapWeightedGraph rebuilds the citation graph with edge weights
+// exp(-rho·gap). The Engine derives gap-weighted transitions with
+// Transition.Reweighted instead; this full rebuild is kept as the
+// reference implementation the equivalence tests check against.
+func gapWeightedGraph(net *hetnet.Network, rho float64) (*graph.Graph, error) {
+	weight, err := gapWeightFunc(net, rho)
+	if err != nil {
+		return nil, err
 	}
 	src := net.Citations
 	b := graph.NewBuilder(src.NumNodes(), true)
 	var addErr error
 	src.VisitEdges(func(u, v graph.NodeID, _ float64) {
-		gap := net.Years[u] - net.Years[v]
-		if gap < 0 {
-			gap = 0 // metadata noise: citing an "in press" article
-		}
-		if err := b.AddWeightedEdge(u, v, kernel.Weight(gap)); err != nil && addErr == nil {
+		if err := b.AddWeightedEdge(u, v, weight(int32(u), int32(v))); err != nil && addErr == nil {
 			addErr = err
 		}
 	})
@@ -78,13 +128,25 @@ func gapWeightedGraph(net *hetnet.Network, rho float64) (*graph.Graph, error) {
 // computePopularity scores each article by the decayed citation
 // intensity Σ_{i→j} exp(-rho·(now - t_i)): how much *current*
 // attention flows into it. With rho = 0 it degrades to the raw
-// citation count.
+// citation count. The decay weight depends only on the citing
+// article's publication year, so it is computed once per distinct
+// year and looked up per edge instead of paying an exp per edge.
 func computePopularity(net *hetnet.Network, opts Options) []float64 {
 	kernel := temporal.Exponential{Rho: opts.RhoRecency}
 	n := net.NumArticles()
+	decay := make(map[float64]float64)
+	weightOf := make([]float64, n)
+	for i, y := range net.Years {
+		w, ok := decay[y]
+		if !ok {
+			w = kernel.Weight(temporal.Age(net.Now, y))
+			decay[y] = w
+		}
+		weightOf[i] = w
+	}
 	pop := make([]float64, n)
 	net.Citations.VisitEdges(func(u, v graph.NodeID, _ float64) {
-		pop[v] += kernel.Weight(temporal.Age(net.Now, net.Years[u]))
+		pop[v] += weightOf[u]
 	})
 	return pop
 }
@@ -97,7 +159,14 @@ func computePopularity(net *hetnet.Network, opts Options) []float64 {
 // Mass leaked by articles missing authors or venues is routed through
 // r. λt > 0 makes the map a strict contraction toward r, so the
 // iteration converges for any starting distribution.
-func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, init []float64) ([]float64, sparse.IterStats, error) {
+// The iteration body is fused: the author/venue layers are gathered
+// through pull-form pooled kernels (pre-scaled by the spread shares),
+// then a single BlendStep sweep combines the citation mat-vec,
+// dangling and leak restarts, the inline layer spread (read straight
+// from the article→authors CSR and venue index, never materialised),
+// output sum, and next iteration's dangling mass, and ScaleDiffStep
+// folds the normalisation into the residual pass.
+func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, pool *sparse.Pool, init []float64) ([]float64, sparse.IterStats, error) {
 	n := net.NumArticles()
 	recency, err := temporal.NewExponential(opts.RhoRecency)
 	if err != nil {
@@ -106,41 +175,43 @@ func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, init
 	r := rank.RecencyVector(net.Years, net.Now, recency)
 	sparse.Normalize1(r)
 
-	authors := make([]float64, net.NumAuthors())
-	venues := make([]float64, net.NumVenues())
-	fromAuthors := make([]float64, n)
-	fromVenues := make([]float64, n)
-
-	step := func(dst, src []float64) {
-		t.MulVec(dst, src)
-		dm := t.DanglingMass(src)
-		var aLeak, vLeak float64
-		if opts.LambdaAuthor > 0 {
-			aLeak = net.GatherArticlesToAuthors(authors, src)
-			net.SpreadAuthorsToArticles(fromAuthors, authors)
-		}
-		if opts.LambdaVenue > 0 {
-			vLeak = net.GatherArticlesToVenues(venues, src)
-			net.SpreadVenuesToArticles(fromVenues, venues)
-		}
-		for i := range dst {
-			cite := dst[i] + dm*r[i]
-			x := opts.LambdaCite*cite + opts.LambdaTime*r[i]
-			if opts.LambdaAuthor > 0 {
-				x += opts.LambdaAuthor * (fromAuthors[i] + aLeak*r[i])
-			}
-			if opts.LambdaVenue > 0 {
-				x += opts.LambdaVenue * (fromVenues[i] + vLeak*r[i])
-			}
-			dst[i] = x
-		}
-		sparse.Normalize1(dst)
+	var authors, venues []float64
+	var authorLayer *sparse.AuxGather
+	var venueLayer *sparse.AuxLookup
+	if opts.LambdaAuthor > 0 {
+		authors = make([]float64, net.NumAuthors())
+		authorLayer = net.AuthorBlendLayer(authors)
 	}
+	if opts.LambdaVenue > 0 {
+		venues = make([]float64, net.NumVenues())
+		venueLayer = net.VenueBlendLayer(venues)
+	}
+
 	if init == nil {
 		init = make([]float64, n)
 		sparse.Uniform(init)
 	}
-	scores, stats, err := sparse.FixedPoint(init, step, opts.Iter)
+	dm := t.DanglingMass(init) // seeds the pipelined dangling mass
+	step := func(dst, src []float64) float64 {
+		var aLeak, vLeak float64
+		if opts.LambdaAuthor > 0 {
+			aLeak = net.GatherArticlesToAuthorsScaledPar(pool, authors, src)
+		}
+		if opts.LambdaVenue > 0 {
+			vLeak = net.GatherArticlesToVenuesScaledPar(pool, venues, src)
+		}
+		sum, dangNext := t.BlendStep(dst, src, r, authorLayer, venueLayer,
+			opts.LambdaCite, opts.LambdaAuthor, opts.LambdaVenue, opts.LambdaTime,
+			dm, aLeak, vLeak)
+		inv := 1.0
+		if sum != 0 && !math.IsNaN(sum) && !math.IsInf(sum, 0) {
+			inv = 1 / sum
+		}
+		res := t.ScaleDiffStep(dst, src, inv)
+		dm = dangNext * inv
+		return res
+	}
+	scores, stats, err := sparse.FixedPointResidual(init, step, opts.Iter)
 	if err != nil {
 		return nil, sparse.IterStats{}, err
 	}

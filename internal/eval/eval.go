@@ -9,26 +9,59 @@
 package eval
 
 import (
+	"cmp"
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // ErrLengthMismatch reports score vectors of different lengths.
 var ErrLengthMismatch = errors.New("eval: length mismatch")
 
 // Order returns item indices sorted by descending score, ties broken
-// by ascending index for determinism.
+// by ascending index for determinism. The explicit (score, index)
+// comparator makes a non-stable sort equivalent to a stable one, so
+// the hot path avoids sort.SliceStable's reflection-based swaps and
+// merge passes; sorting packed (score, index) pairs keeps each
+// comparison to one contiguous load instead of two indirections.
 func Order(scores []float64) []int {
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
+	pairs := sortedPairs(scores)
+	idx := make([]int, len(pairs))
+	for i, p := range pairs {
+		idx[i] = int(p.index)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return scores[idx[a]] > scores[idx[b]]
-	})
 	return idx
+}
+
+type scoredIndex struct {
+	score float64
+	index int32
+}
+
+// sortedPairs returns (score, index) pairs in descending score order,
+// ties broken by ascending index.
+func sortedPairs(scores []float64) []scoredIndex {
+	pairs := make([]scoredIndex, len(scores))
+	for i, s := range scores {
+		pairs[i] = scoredIndex{s, int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, b scoredIndex) int {
+		// Plain comparisons before cmp.Compare: scores are almost never
+		// NaN, so the common path skips Compare's four NaN tests. The
+		// NaN fallthrough still delegates to Compare for a total order.
+		if a.score > b.score {
+			return -1
+		}
+		if a.score < b.score {
+			return 1
+		}
+		if c := cmp.Compare(b.score, a.score); c != 0 {
+			return c
+		}
+		return int(a.index) - int(b.index)
+	})
+	return pairs
 }
 
 // Ranks assigns each item its 1-based rank position under descending
@@ -36,16 +69,16 @@ func Order(scores []float64) []int {
 // requires).
 func Ranks(scores []float64) []float64 {
 	n := len(scores)
-	idx := Order(scores)
+	pairs := sortedPairs(scores)
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+		for j+1 < n && pairs[j+1].score == pairs[i].score {
 			j++
 		}
 		avg := float64(i+j)/2 + 1
 		for k := i; k <= j; k++ {
-			ranks[idx[k]] = avg
+			ranks[pairs[k].index] = avg
 		}
 		i = j + 1
 	}
@@ -54,6 +87,10 @@ func Ranks(scores []float64) []float64 {
 
 // Percentiles maps each item's score to its rank percentile in [0, 1],
 // where 1 means best-ranked. Ties share their average percentile.
+// It works directly on the sorted (score, index) pairs — tie runs are
+// found by comparing adjacent pair scores, so the hot loop never
+// chases the scores slice through an index permutation, and the
+// intermediate rank vector of Ranks is never materialised.
 func Percentiles(scores []float64) []float64 {
 	n := len(scores)
 	if n == 0 {
@@ -62,10 +99,20 @@ func Percentiles(scores []float64) []float64 {
 	if n == 1 {
 		return []float64{1}
 	}
-	ranks := Ranks(scores)
+	pairs := sortedPairs(scores)
 	out := make([]float64, n)
-	for i, r := range ranks {
-		out[i] = 1 - (r-1)/float64(n-1)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && pairs[j+1].score == pairs[i].score {
+			j++
+		}
+		// Same arithmetic as 1 - (avgRank-1)/(n-1) over 1-based ranks.
+		avg := float64(i+j)/2 + 1
+		pct := 1 - (avg-1)/float64(n-1)
+		for k := i; k <= j; k++ {
+			out[pairs[k].index] = pct
+		}
+		i = j + 1
 	}
 	return out
 }

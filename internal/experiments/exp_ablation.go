@@ -59,6 +59,7 @@ func runAblation(opts Options) ([]*Table, error) {
 		},
 	}
 	eng := core.NewEngine(ctx.net)
+	defer eng.Close()
 	for _, v := range ablationVariants() {
 		o := core.DefaultOptions()
 		o.Workers = opts.Workers

@@ -12,6 +12,7 @@ import (
 
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/graph"
+	"scholarrank/internal/sparse"
 )
 
 // Network is the assembled heterogeneous view of a corpus.
@@ -39,6 +40,23 @@ type Network struct {
 	// Co-authorship graph, built lazily (only CoRank needs it).
 	coauthorOnce sync.Once
 	coauthor     *graph.Graph
+
+	// Pull-mode index for the gather/spread kernels, built lazily on
+	// first use. Pull form makes every kernel write each output cell
+	// exactly once, so the sweeps parallelise over a worker pool with
+	// no scatter races.
+	pullOnce      sync.Once
+	artAuthorOff  []int64            // CSR over articles: authors of each article
+	artAuthors    []corpus.AuthorID  //
+	invArtAuthors []float64          // per article: 1/#authors (0 when none)
+	invAuthorArts []float64          // per author: 1/#articles (0 when none)
+	venueOf       []corpus.VenueID   // per article venue (corpus.NoVenue when none)
+	invVenueArts  []float64          // per venue: 1/#articles (0 when none)
+	noAuthorArts  []corpus.ArticleID // articles that leak in author gathers
+	noVenueArts   []corpus.ArticleID // articles that leak in venue gathers
+	authorChunks  []int32            // edge-balanced partitions for the pool
+	venueChunks   []int32
+	articleChunks []int32
 }
 
 // Build indexes the corpus into a Network. The store must not be
@@ -157,80 +175,220 @@ func (n *Network) CoauthorGraph() *graph.Graph {
 	return n.coauthor
 }
 
+// ensurePullIndex builds the pull-mode adjacency used by the
+// gather/spread kernels: a flattened article→authors CSR, per-entity
+// inverse degrees, and edge-balanced chunk plans so the pool's
+// workers each carry a near-equal share of the bipartite edges.
+func (n *Network) ensurePullIndex() {
+	n.pullOnce.Do(func() {
+		nArt := n.NumArticles()
+		n.artAuthorOff = make([]int64, nArt+1)
+		n.invArtAuthors = make([]float64, nArt)
+		n.venueOf = make([]corpus.VenueID, nArt)
+		var total int64
+		n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+			n.artAuthorOff[id] = total
+			total += int64(len(a.Authors))
+			if len(a.Authors) > 0 {
+				n.invArtAuthors[id] = 1 / float64(len(a.Authors))
+			} else {
+				n.noAuthorArts = append(n.noAuthorArts, id)
+			}
+			n.venueOf[id] = a.Venue
+			if a.Venue == corpus.NoVenue {
+				n.noVenueArts = append(n.noVenueArts, id)
+			}
+		})
+		n.artAuthorOff[nArt] = total
+		n.artAuthors = make([]corpus.AuthorID, total)
+		n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+			copy(n.artAuthors[n.artAuthorOff[id]:], a.Authors)
+		})
+
+		n.invAuthorArts = make([]float64, n.NumAuthors())
+		for a := range n.invAuthorArts {
+			if d := n.authorOffsets[a+1] - n.authorOffsets[a]; d > 0 {
+				n.invAuthorArts[a] = 1 / float64(d)
+			}
+		}
+		n.invVenueArts = make([]float64, n.NumVenues())
+		for v := range n.invVenueArts {
+			if d := n.venueOffsets[v+1] - n.venueOffsets[v]; d > 0 {
+				n.invVenueArts[v] = 1 / float64(d)
+			}
+		}
+		n.authorChunks = sparse.EdgeChunks(n.authorOffsets)
+		n.venueChunks = sparse.EdgeChunks(n.venueOffsets)
+		n.articleChunks = sparse.EdgeChunks(n.artAuthorOff)
+	})
+}
+
 // SpreadAuthorsToArticles distributes each author's score uniformly
-// over that author's articles, accumulating into dst (dst is
-// overwritten). Authors with no articles contribute nothing.
+// over that author's articles, overwriting dst. Authors with no
+// articles contribute nothing. Serial; see SpreadAuthorsToArticlesPar.
 func (n *Network) SpreadAuthorsToArticles(dst, authorScore []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for a := 0; a < n.NumAuthors(); a++ {
-		arts := n.AuthorArticles(corpus.AuthorID(a))
-		if len(arts) == 0 {
-			continue
+	n.SpreadAuthorsToArticlesPar(nil, dst, authorScore)
+}
+
+// SpreadAuthorsToArticlesPar is SpreadAuthorsToArticles parallelised
+// over a worker pool (nil runs serially). The kernel runs in pull
+// form — each article sums its authors' shares — so chunks write
+// disjoint output ranges and need no synchronisation.
+func (n *Network) SpreadAuthorsToArticlesPar(pool *sparse.Pool, dst, authorScore []float64) {
+	n.ensurePullIndex()
+	chunks := n.articleChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for p := chunks[c]; p < chunks[c+1]; p++ {
+			var s float64
+			for _, a := range n.artAuthors[n.artAuthorOff[p]:n.artAuthorOff[p+1]] {
+				s += authorScore[a] * n.invAuthorArts[a]
+			}
+			dst[p] = s
 		}
-		share := authorScore[a] / float64(len(arts))
-		for _, p := range arts {
-			dst[p] += share
-		}
-	}
+	})
 }
 
 // GatherArticlesToAuthors computes each author's score as the sum of
 // their articles' scores, each article splitting its mass equally
 // among its authors. dst is overwritten. Articles without authors
 // contribute nothing; the leaked mass is returned so callers can
-// redistribute it.
+// redistribute it. Serial; see GatherArticlesToAuthorsPar.
 func (n *Network) GatherArticlesToAuthors(dst, articleScore []float64) (leaked float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for p := 0; p < n.NumArticles(); p++ {
-		authors := n.ArticleAuthors(corpus.ArticleID(p))
-		if len(authors) == 0 {
-			leaked += articleScore[p]
-			continue
+	return n.GatherArticlesToAuthorsPar(nil, dst, articleScore)
+}
+
+// GatherArticlesToAuthorsPar is GatherArticlesToAuthors parallelised
+// over a worker pool (nil runs serially), pulling through the
+// author→articles CSR so each author cell is written exactly once.
+func (n *Network) GatherArticlesToAuthorsPar(pool *sparse.Pool, dst, articleScore []float64) (leaked float64) {
+	n.ensurePullIndex()
+	chunks := n.authorChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for a := chunks[c]; a < chunks[c+1]; a++ {
+			var s float64
+			for _, p := range n.authorArticles[n.authorOffsets[a]:n.authorOffsets[a+1]] {
+				s += articleScore[p] * n.invArtAuthors[p]
+			}
+			dst[a] = s
 		}
-		share := articleScore[p] / float64(len(authors))
-		for _, a := range authors {
-			dst[a] += share
-		}
+	})
+	for _, p := range n.noAuthorArts {
+		leaked += articleScore[p]
 	}
 	return leaked
 }
 
+// GatherArticlesToAuthorsScaledPar is GatherArticlesToAuthorsPar with
+// each author's sum additionally multiplied by that author's spread
+// share 1/#articles — exactly the factor SpreadAuthorsToArticles
+// would apply per term. Combined with AuthorBlendLayer it lets a
+// sparse.Transition.BlendStep sweep consume the author layer without
+// a separate spread pass over the article–author edges.
+func (n *Network) GatherArticlesToAuthorsScaledPar(pool *sparse.Pool, dst, articleScore []float64) (leaked float64) {
+	n.ensurePullIndex()
+	chunks := n.authorChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for a := chunks[c]; a < chunks[c+1]; a++ {
+			var s float64
+			for _, p := range n.authorArticles[n.authorOffsets[a]:n.authorOffsets[a+1]] {
+				s += articleScore[p] * n.invArtAuthors[p]
+			}
+			dst[a] = s * n.invAuthorArts[a]
+		}
+	})
+	for _, p := range n.noAuthorArts {
+		leaked += articleScore[p]
+	}
+	return leaked
+}
+
+// GatherArticlesToVenuesScaledPar is GatherArticlesToVenuesPar with
+// each venue's sum additionally multiplied by that venue's spread
+// share 1/#articles; see GatherArticlesToAuthorsScaledPar.
+func (n *Network) GatherArticlesToVenuesScaledPar(pool *sparse.Pool, dst, articleScore []float64) (leaked float64) {
+	n.ensurePullIndex()
+	chunks := n.venueChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for v := chunks[c]; v < chunks[c+1]; v++ {
+			var s float64
+			for _, p := range n.venueArticles[n.venueOffsets[v]:n.venueOffsets[v+1]] {
+				s += articleScore[p]
+			}
+			dst[v] = s * n.invVenueArts[v]
+		}
+	})
+	for _, p := range n.noVenueArts {
+		leaked += articleScore[p]
+	}
+	return leaked
+}
+
+// AuthorBlendLayer wraps vec (per-author scores, pre-scaled by
+// GatherArticlesToAuthorsScaledPar) as the aux-gather descriptor a
+// BlendStep sweep reads inline through the article→authors CSR.
+func (n *Network) AuthorBlendLayer(vec []float64) *sparse.AuxGather {
+	n.ensurePullIndex()
+	return &sparse.AuxGather{Off: n.artAuthorOff, Idx: n.artAuthors, Vec: vec}
+}
+
+// VenueBlendLayer wraps vec (per-venue scores, pre-scaled by
+// GatherArticlesToVenuesScaledPar) as the aux-lookup descriptor a
+// BlendStep sweep reads inline through the per-article venue index
+// (corpus.NoVenue is the < 0 sentinel AuxLookup maps to zero).
+func (n *Network) VenueBlendLayer(vec []float64) *sparse.AuxLookup {
+	n.ensurePullIndex()
+	return &sparse.AuxLookup{Of: n.venueOf, Vec: vec}
+}
+
 // SpreadVenuesToArticles distributes each venue's score uniformly over
-// its articles. dst is overwritten.
+// its articles. dst is overwritten. Serial; see
+// SpreadVenuesToArticlesPar.
 func (n *Network) SpreadVenuesToArticles(dst, venueScore []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for v := 0; v < n.NumVenues(); v++ {
-		arts := n.VenueArticles(corpus.VenueID(v))
-		if len(arts) == 0 {
-			continue
+	n.SpreadVenuesToArticlesPar(nil, dst, venueScore)
+}
+
+// SpreadVenuesToArticlesPar is SpreadVenuesToArticles parallelised
+// over a worker pool (nil runs serially). An article has at most one
+// venue, so the pull form is a single indexed read per article.
+func (n *Network) SpreadVenuesToArticlesPar(pool *sparse.Pool, dst, venueScore []float64) {
+	n.ensurePullIndex()
+	chunks := n.articleChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for p := chunks[c]; p < chunks[c+1]; p++ {
+			if v := n.venueOf[p]; v != corpus.NoVenue {
+				dst[p] = venueScore[v] * n.invVenueArts[v]
+			} else {
+				dst[p] = 0
+			}
 		}
-		share := venueScore[v] / float64(len(arts))
-		for _, p := range arts {
-			dst[p] += share
-		}
-	}
+	})
 }
 
 // GatherArticlesToVenues computes each venue's score as the sum of its
 // articles' scores (an article has at most one venue, so no split).
-// Articles without a venue leak; the leaked mass is returned.
+// Articles without a venue leak; the leaked mass is returned. Serial;
+// see GatherArticlesToVenuesPar.
 func (n *Network) GatherArticlesToVenues(dst, articleScore []float64) (leaked float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for p := 0; p < n.NumArticles(); p++ {
-		v := n.ArticleVenue(corpus.ArticleID(p))
-		if v == corpus.NoVenue {
-			leaked += articleScore[p]
-			continue
+	return n.GatherArticlesToVenuesPar(nil, dst, articleScore)
+}
+
+// GatherArticlesToVenuesPar is GatherArticlesToVenues parallelised
+// over a worker pool (nil runs serially), pulling through the
+// venue→articles CSR.
+func (n *Network) GatherArticlesToVenuesPar(pool *sparse.Pool, dst, articleScore []float64) (leaked float64) {
+	n.ensurePullIndex()
+	chunks := n.venueChunks
+	pool.Run(len(chunks)-1, func(c int) {
+		for v := chunks[c]; v < chunks[c+1]; v++ {
+			var s float64
+			for _, p := range n.venueArticles[n.venueOffsets[v]:n.venueOffsets[v+1]] {
+				s += articleScore[p]
+			}
+			dst[v] = s
 		}
-		dst[v] += articleScore[p]
+	})
+	for _, p := range n.noVenueArts {
+		leaked += articleScore[p]
 	}
 	return leaked
 }

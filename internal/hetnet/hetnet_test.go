@@ -1,10 +1,13 @@
 package hetnet
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"scholarrank/internal/corpus"
+	"scholarrank/internal/sparse"
 )
 
 // buildTiny mirrors the corpus package fixture:
@@ -165,6 +168,103 @@ func TestSpreadOverwritesDst(t *testing.T) {
 	for i, v := range dst {
 		if v != 0 {
 			t.Errorf("dst[%d] = %v, want 0 (overwrite)", i, v)
+		}
+	}
+}
+
+// buildRandom makes a corpus large enough to get multi-chunk plans:
+// ~n articles, n/3 authors (1-4 per article, ~7% none), n/20 venues
+// (~10% none).
+func buildRandom(t testing.TB, n int, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := corpus.NewStore()
+	authors := make([]corpus.AuthorID, n/3+1)
+	for i := range authors {
+		authors[i], _ = s.InternAuthor(fmt.Sprintf("a%d", i), "")
+	}
+	venues := make([]corpus.VenueID, n/20+1)
+	for i := range venues {
+		venues[i], _ = s.InternVenue(fmt.Sprintf("v%d", i), "")
+	}
+	for i := 0; i < n; i++ {
+		meta := corpus.ArticleMeta{Key: fmt.Sprintf("p%d", i), Year: 1980 + rng.Intn(40), Venue: corpus.NoVenue}
+		if rng.Intn(10) != 0 {
+			meta.Venue = venues[rng.Intn(len(venues))]
+		}
+		for k := rng.Intn(5) - 1; k >= 0; k-- {
+			meta.Authors = append(meta.Authors, authors[rng.Intn(len(authors))])
+		}
+		seen := map[corpus.AuthorID]bool{}
+		uniq := meta.Authors[:0]
+		for _, a := range meta.Authors {
+			if !seen[a] {
+				seen[a] = true
+				uniq = append(uniq, a)
+			}
+		}
+		meta.Authors = uniq
+		if _, err := s.AddArticle(meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Build(s)
+}
+
+// TestGatherSpreadPooledMatchesSerial checks the pool-parallel pull
+// kernels against their serial execution on a corpus big enough for a
+// real multi-chunk plan.
+func TestGatherSpreadPooledMatchesSerial(t *testing.T) {
+	net := buildRandom(t, 30_000, 9)
+	pool := sparse.NewPool(4)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float64, net.NumArticles())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+
+	aSer := make([]float64, net.NumAuthors())
+	aPar := make([]float64, net.NumAuthors())
+	leakSer := net.GatherArticlesToAuthors(aSer, x)
+	leakPar := net.GatherArticlesToAuthorsPar(pool, aPar, x)
+	if leakSer != leakPar {
+		t.Errorf("author leak: serial %v parallel %v", leakSer, leakPar)
+	}
+	for i := range aSer {
+		if aSer[i] != aPar[i] {
+			t.Fatalf("author gather differs at %d: %v vs %v", i, aSer[i], aPar[i])
+		}
+	}
+
+	pSer := make([]float64, net.NumArticles())
+	pPar := make([]float64, net.NumArticles())
+	net.SpreadAuthorsToArticles(pSer, aSer)
+	net.SpreadAuthorsToArticlesPar(pool, pPar, aSer)
+	for i := range pSer {
+		if pSer[i] != pPar[i] {
+			t.Fatalf("author spread differs at %d: %v vs %v", i, pSer[i], pPar[i])
+		}
+	}
+
+	vSer := make([]float64, net.NumVenues())
+	vPar := make([]float64, net.NumVenues())
+	leakSer = net.GatherArticlesToVenues(vSer, x)
+	leakPar = net.GatherArticlesToVenuesPar(pool, vPar, x)
+	if leakSer != leakPar {
+		t.Errorf("venue leak: serial %v parallel %v", leakSer, leakPar)
+	}
+	for i := range vSer {
+		if vSer[i] != vPar[i] {
+			t.Fatalf("venue gather differs at %d: %v vs %v", i, vSer[i], vPar[i])
+		}
+	}
+
+	net.SpreadVenuesToArticles(pSer, vSer)
+	net.SpreadVenuesToArticlesPar(pool, pPar, vSer)
+	for i := range pSer {
+		if pSer[i] != pPar[i] {
+			t.Fatalf("venue spread differs at %d: %v vs %v", i, pSer[i], pPar[i])
 		}
 	}
 }

@@ -87,8 +87,10 @@ func CoRank(net *hetnet.Network, opts CoRankOptions) (CoRankResult, error) {
 		return CoRankResult{Articles: res.Scores, Stats: res.Stats}, nil
 	}
 
-	citeT := sparse.NewTransition(net.Citations, opts.Workers)
-	coauthT := sparse.NewTransition(net.CoauthorGraph(), opts.Workers)
+	pool := sparse.NewPool(opts.Workers)
+	defer pool.Close()
+	citeT := sparse.NewTransition(net.Citations, pool)
+	coauthT := sparse.NewTransition(net.CoauthorGraph(), pool)
 
 	d, k := opts.Damping, opts.Coupling
 	uniP := 1 / float64(nP)

@@ -69,7 +69,9 @@ func FutureRank(net *hetnet.Network, opts FutureRankOptions) (Result, error) {
 	r := RecencyVector(net.Years, net.Now, kernel)
 	sparse.Normalize1(r)
 
-	t := sparse.NewTransition(net.Citations, opts.Workers)
+	pool := sparse.NewPool(opts.Workers)
+	defer pool.Close()
+	t := sparse.NewTransition(net.Citations, pool)
 	authors := make([]float64, net.NumAuthors())
 	fromAuthors := make([]float64, n)
 	uniform := 1 / float64(n)

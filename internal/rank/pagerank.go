@@ -83,7 +83,9 @@ func PageRank(g *graph.Graph, opts PageRankOptions) (Result, error) {
 	if n == 0 {
 		return Result{Scores: nil, Stats: sparse.IterStats{Converged: true}}, nil
 	}
-	t := sparse.NewTransition(g, opts.Workers)
+	pool := sparse.NewPool(opts.Workers)
+	defer pool.Close()
+	t := sparse.NewTransition(g, pool)
 	scores, stats, err := sparse.DampedWalk(t, opts.damping(), opts.teleport(n), opts.Iter)
 	if err != nil {
 		return Result{}, err
@@ -103,7 +105,7 @@ func PageRankGaussSeidel(g *graph.Graph, opts PageRankOptions) (Result, error) {
 	if n == 0 {
 		return Result{Scores: nil, Stats: sparse.IterStats{Converged: true}}, nil
 	}
-	t := sparse.NewTransition(g, opts.Workers)
+	t := sparse.NewTransition(g, nil) // Gauss–Seidel sweeps are inherently sequential
 	scores, stats, err := t.GaussSeidelPageRank(opts.damping(), opts.teleport(n), opts.Iter)
 	if err != nil {
 		return Result{}, err

@@ -77,7 +77,9 @@ func PRank(net *hetnet.Network, opts PRankOptions) (Result, error) {
 	if n == 0 {
 		return Result{Stats: sparse.IterStats{Converged: true}}, nil
 	}
-	t := sparse.NewTransition(net.Citations, opts.Workers)
+	pool := sparse.NewPool(opts.Workers)
+	defer pool.Close()
+	t := sparse.NewTransition(net.Citations, pool)
 	authors := make([]float64, net.NumAuthors())
 	venues := make([]float64, net.NumVenues())
 	fromAuthors := make([]float64, n)

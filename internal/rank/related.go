@@ -22,9 +22,11 @@ type RelatedOptions struct {
 // RelatedIndex answers related-article queries over one corpus. It
 // precomputes the bidirectional citation operator once (references
 // and citers both signal relatedness), so per-query cost is just the
-// personalised walk.
+// personalised walk. The index owns a worker pool sized by
+// Options.Workers; call Close to release it.
 type RelatedIndex struct {
 	trans *sparse.Transition
+	pool  *sparse.Pool
 	n     int
 	opts  RelatedOptions
 }
@@ -51,11 +53,23 @@ func NewRelatedIndex(net *hetnet.Network, opts RelatedOptions) (*RelatedIndex, e
 	if addErr != nil {
 		return nil, addErr
 	}
+	pool := sparse.NewPool(opts.Workers)
 	return &RelatedIndex{
-		trans: sparse.NewTransition(b.Build(), opts.Workers),
+		trans: sparse.NewTransition(b.Build(), pool),
+		pool:  pool,
 		n:     src.NumNodes(),
 		opts:  opts,
 	}, nil
+}
+
+// Close releases the index's worker pool. Queries remain valid after
+// Close, falling back to serial kernels.
+func (ri *RelatedIndex) Close() {
+	if ri.pool != nil {
+		ri.pool.Close()
+		ri.trans.SetPool(nil)
+		ri.pool = nil
+	}
 }
 
 // Related returns up to k articles most related to the seed, by the

@@ -62,7 +62,7 @@ func SceasRank(g *graph.Graph, opts SceasRankOptions) (Result, error) {
 	if n == 0 {
 		return Result{Stats: sparse.IterStats{Converged: true}}, nil
 	}
-	t := sparse.NewTransition(g, 1)
+	t := sparse.NewTransition(g, nil)
 	// bonusIn[p] = Σ_{q→p} b/outdeg(q) is constant across iterations.
 	bonusIn := make([]float64, n)
 	ones := make([]float64, n)

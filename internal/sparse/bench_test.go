@@ -1,14 +1,17 @@
 package sparse
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"scholarrank/internal/graph"
 )
 
 // benchGraph builds a citation-shaped random graph: each node cites
-// ~12 earlier nodes.
+// ~12 earlier nodes chosen uniformly, giving a mildly skewed
+// in-degree distribution.
 func benchGraph(b *testing.B, n int) *graph.Graph {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
@@ -21,32 +24,130 @@ func benchGraph(b *testing.B, n int) *graph.Graph {
 	return gb.Build()
 }
 
+// benchGraphPowerLaw builds a preferential-attachment citation graph:
+// each node cites 12 earlier nodes picked proportionally to their
+// current in-degree (plus one), producing the heavy-tailed in-degree
+// typical of real citation networks — the worst case for row-count
+// partitioning and the case the edge-balanced chunk plan exists for.
+func benchGraphPowerLaw(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	gb := graph.NewBuilder(n, false)
+	// targets holds one entry per (in-edge + node), so sampling a
+	// uniform element approximates degree-proportional selection.
+	targets := make([]int32, 0, 13*n)
+	targets = append(targets, 0)
+	for i := 1; i < n; i++ {
+		for r := 0; r < 12; r++ {
+			v := targets[rng.Intn(len(targets))]
+			_ = gb.AddEdge(graph.NodeID(i), graph.NodeID(v))
+			targets = append(targets, v)
+		}
+		targets = append(targets, int32(i))
+	}
+	return gb.Build()
+}
+
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 {
+		counts = append(counts, ncpu)
+	}
+	return counts
+}
+
 func BenchmarkNewTransition(b *testing.B) {
 	g := benchGraph(b, 50_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = NewTransition(g, 1)
+		_ = NewTransition(g, nil)
+	}
+}
+
+func BenchmarkReweighted(b *testing.B) {
+	g := benchGraph(b, 50_000)
+	t := NewTransition(g, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Reweighted(func(u, v int32) float64 { return 1 + float64(u%7) })
 	}
 }
 
 func BenchmarkMulVec(b *testing.B) {
 	g := benchGraph(b, 50_000)
-	t := NewTransition(g, 1)
-	x := make([]float64, t.N())
-	Uniform(x)
-	dst := make([]float64, t.N())
-	b.SetBytes(int64(g.NumEdges() * 8))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t.MulVec(dst, x)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := NewPool(w)
+			defer pool.Close()
+			t := NewTransition(g, pool)
+			x := make([]float64, t.N())
+			Uniform(x)
+			dst := make([]float64, t.N())
+			b.SetBytes(int64(g.NumEdges() * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.MulVec(dst, x)
+			}
+		})
 	}
+}
+
+// unfusedDampedStep is the seed kernel's iteration body: four
+// separate passes (mat-vec, dangling mass, teleport combine, L1
+// residual). It exists so `go test -bench DampedStep` reproduces the
+// fused-vs-unfused comparison on any machine.
+func unfusedDampedStep(t *Transition, dst, src, teleport []float64, damping float64) (res float64) {
+	t.MulVec(dst, src)
+	dm := t.DanglingMass(src)
+	for i := range dst {
+		dst[i] = damping*(dst[i]+dm*teleport[i]) + (1-damping)*teleport[i]
+	}
+	return L1Diff(dst, src)
+}
+
+func benchDampedStep(b *testing.B, build func(*testing.B, int) *graph.Graph, fused bool) {
+	g := build(b, 50_000)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := NewPool(w)
+			defer pool.Close()
+			t := NewTransition(g, pool)
+			src := make([]float64, t.N())
+			Uniform(src)
+			teleport := make([]float64, t.N())
+			Uniform(teleport)
+			dst := make([]float64, t.N())
+			dm := t.DanglingMass(src)
+			b.SetBytes(int64(g.NumEdges() * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fused {
+					_, _, _ = t.DampedStep(dst, src, teleport, 0.85, dm)
+				} else {
+					_ = unfusedDampedStep(t, dst, src, teleport, 0.85)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDampedStepFused(b *testing.B) {
+	b.Run("uniform", func(b *testing.B) { benchDampedStep(b, benchGraph, true) })
+	b.Run("powerlaw", func(b *testing.B) { benchDampedStep(b, benchGraphPowerLaw, true) })
+}
+
+func BenchmarkDampedStepUnfused(b *testing.B) {
+	b.Run("uniform", func(b *testing.B) { benchDampedStep(b, benchGraph, false) })
+	b.Run("powerlaw", func(b *testing.B) { benchDampedStep(b, benchGraphPowerLaw, false) })
 }
 
 func BenchmarkDampedWalk(b *testing.B) {
 	g := benchGraph(b, 50_000)
-	t := NewTransition(g, 1)
+	t := NewTransition(g, nil)
 	teleport := make([]float64, t.N())
 	Uniform(teleport)
 	b.ReportAllocs()
@@ -60,7 +161,7 @@ func BenchmarkDampedWalk(b *testing.B) {
 
 func BenchmarkGaussSeidelPageRank(b *testing.B) {
 	g := benchGraph(b, 50_000)
-	t := NewTransition(g, 1)
+	t := NewTransition(g, nil)
 	teleport := make([]float64, t.N())
 	Uniform(teleport)
 	b.ReportAllocs()

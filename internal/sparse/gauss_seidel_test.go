@@ -21,7 +21,7 @@ func gsGraph(t testing.TB) *graph.Graph {
 }
 
 func TestGaussSeidelTrace(t *testing.T) {
-	tr := NewTransition(gsGraph(t), 1)
+	tr := NewTransition(gsGraph(t), nil)
 	tele := make([]float64, tr.N())
 	Uniform(tele)
 	x, st, err := tr.GaussSeidelPageRank(0.85, tele, IterOptions{Tol: 1e-10, Trace: true})
@@ -48,7 +48,7 @@ func TestGaussSeidelTrace(t *testing.T) {
 }
 
 func TestGaussSeidelMaxIter(t *testing.T) {
-	tr := NewTransition(gsGraph(t), 1)
+	tr := NewTransition(gsGraph(t), nil)
 	tele := make([]float64, tr.N())
 	Uniform(tele)
 	_, st, err := tr.GaussSeidelPageRank(0.85, tele, IterOptions{Tol: 1e-30, MaxIter: 3})
@@ -61,7 +61,7 @@ func TestGaussSeidelMaxIter(t *testing.T) {
 }
 
 func TestGaussSeidelBadOptions(t *testing.T) {
-	tr := NewTransition(gsGraph(t), 1)
+	tr := NewTransition(gsGraph(t), nil)
 	tele := make([]float64, tr.N())
 	Uniform(tele)
 	if _, _, err := tr.GaussSeidelPageRank(0.85, tele, IterOptions{Tol: -1}); err == nil {
@@ -70,7 +70,7 @@ func TestGaussSeidelBadOptions(t *testing.T) {
 }
 
 func TestDampedWalkFromWarmStart(t *testing.T) {
-	tr := NewTransition(gsGraph(t), 1)
+	tr := NewTransition(gsGraph(t), nil)
 	tele := make([]float64, tr.N())
 	Uniform(tele)
 	cold, coldStats, err := DampedWalk(tr, 0.85, tele, IterOptions{Tol: 1e-12})

@@ -1,0 +1,302 @@
+package sparse
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// minChunkWork is the amount of work (matrix rows plus edges) below
+// which splitting a chunk further is not worth the scheduling
+// overhead. The serial/parallel decision of every kernel derives from
+// it: a chunk plan with a single chunk runs inline.
+const minChunkWork = 16 << 10
+
+// maxChunksPerCPU controls how fine the chunk plan is relative to the
+// host. Several chunks per worker lets the pool's dynamic task
+// claiming even out chunks that are cheap in edges but expensive in
+// cache misses.
+const maxChunksPerCPU = 8
+
+// EdgeChunks partitions the rows of a CSR structure (offsets has one
+// entry per row plus a terminator) into contiguous chunks of roughly
+// equal work, where the work of a row is its edge count plus a
+// constant. Boundaries are located by binary search over the offsets
+// array, so heavy-tailed in-degree distributions (a handful of
+// heavily cited articles) split into many small row ranges while long
+// runs of rarely cited articles coalesce. The returned slice holds
+// the chunk boundaries: chunk c covers rows [starts[c], starts[c+1]).
+//
+// Plans are sized for runtime.NumCPU; a structure whose total work is
+// below the serial threshold yields a single chunk, which every
+// kernel in this package executes inline.
+func EdgeChunks(offsets []int64) []int32 {
+	return edgeChunksTarget(offsets, minChunkWork, maxChunksPerCPU*runtime.NumCPU())
+}
+
+func edgeChunksTarget(offsets []int64, minWork, maxChunks int) []int32 {
+	n := len(offsets) - 1
+	if n < 0 {
+		return []int32{0}
+	}
+	// work(v) = edges(v) + 1, cumulative work before row v is
+	// offsets[v] - offsets[0] + v.
+	total := offsets[n] - offsets[0] + int64(n)
+	parts := int(total / int64(minWork))
+	if parts > maxChunks {
+		parts = maxChunks
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	starts := make([]int32, 1, parts+1)
+	for c := 1; c < parts; c++ {
+		target := offsets[0] + total*int64(c)/int64(parts)
+		// First row v whose cumulative work reaches the target.
+		v := sort.Search(n, func(v int) bool {
+			return offsets[v]+int64(v) >= target
+		})
+		if last := int(starts[len(starts)-1]); v <= last {
+			continue // degenerate row distribution; skip empty chunk
+		}
+		starts = append(starts, int32(v))
+	}
+	return append(starts, int32(n))
+}
+
+// stepPartial carries one chunk's contribution to the fused-step
+// reductions. It is padded to a cache line so neighbouring chunks
+// never false-share.
+type stepPartial struct {
+	res  float64 // Σ |dst[v] - src[v]|
+	sum  float64 // Σ dst[v]
+	dang float64 // Σ dst[v] over dangling rows
+	_    [5]float64
+}
+
+var partialsPool = sync.Pool{
+	New: func() any { return new([]stepPartial) },
+}
+
+func getPartials(n int) *[]stepPartial {
+	p := partialsPool.Get().(*[]stepPartial)
+	if cap(*p) < n {
+		*p = make([]stepPartial, n)
+	}
+	*p = (*p)[:n]
+	for i := range *p {
+		(*p)[i] = stepPartial{}
+	}
+	return p
+}
+
+// reducePartials folds the chunk partials with a pairwise tree
+// reduction. Beyond limiting float error growth, the fixed pairing
+// order makes the reduced values independent of which worker ran
+// which chunk, so results are bit-for-bit reproducible across runs
+// and worker counts.
+func reducePartials(parts []stepPartial) stepPartial {
+	for n := len(parts); n > 1; {
+		h := (n + 1) / 2
+		for i := 0; i+h < n; i++ {
+			parts[i].res += parts[i+h].res
+			parts[i].sum += parts[i+h].sum
+			parts[i].dang += parts[i+h].dang
+		}
+		n = h
+	}
+	if len(parts) == 0 {
+		return stepPartial{}
+	}
+	return parts[0]
+}
+
+// DampedStep performs one fused iteration of the damped random walk:
+//
+//	dst = damping·(Mᵀsrc + danglingMass·teleport) + (1-damping)·teleport
+//
+// in a single sweep over the matrix, returning the L1 residual
+// ||dst - src||₁, the total mass Σ dst, and the dangling mass of dst.
+// The returned dangling mass is the danglingMass argument of the
+// *next* iteration (dangling accumulation is pipelined into the sweep
+// that produces the vector, so no separate pass over the dangling set
+// is ever needed mid-iteration). danglingMass must be the dangling
+// mass of src — use DanglingMass(src) to start the pipeline.
+//
+// Compared with composing MulVec + DanglingMass + a combine loop +
+// L1Diff, DampedStep touches every vector exactly once per iteration
+// and reduces its chunk partials with a deterministic tree.
+func (t *Transition) DampedStep(dst, src, teleport []float64, damping, danglingMass float64) (res, sum, danglingNext float64) {
+	// dst[v] = damping·s + (damping·dm + 1 - damping)·teleport[v]
+	tcoef := damping*danglingMass + 1 - damping
+	nc := t.numChunks()
+	if nc == 1 || t.pool.Workers() <= 1 {
+		return t.dampedRange(dst, src, teleport, damping, tcoef, 0, t.n)
+	}
+	parts := getPartials(nc)
+	ps := *parts
+	t.pool.Run(nc, func(c int) {
+		lo, hi := int(t.chunks[c]), int(t.chunks[c+1])
+		r, s, d := t.dampedRange(dst, src, teleport, damping, tcoef, lo, hi)
+		ps[c] = stepPartial{res: r, sum: s, dang: d}
+	})
+	total := reducePartials(ps)
+	partialsPool.Put(parts)
+	return total.res, total.sum, total.dang
+}
+
+func (t *Transition) dampedRange(dst, src, teleport []float64, damping, tcoef float64, lo, hi int) (res, sum, dang float64) {
+	offs := t.offsets
+	mark := t.danglingMark
+	for v := lo; v < hi; v++ {
+		var s float64
+		start, end := offs[v], offs[v+1]
+		row := t.sources[start:end]
+		nrm := t.norm[start:end][:len(row)] // elides the nrm[i] bounds check
+		for i, u := range row {
+			s += src[u] * nrm[i]
+		}
+		y := damping*s + tcoef*teleport[v]
+		dst[v] = y
+		res += math.Abs(y - src[v])
+		sum += y
+		if mark[v] {
+			dang += y
+		}
+	}
+	return res, sum, dang
+}
+
+// AuxGather folds a bipartite layer into a blend sweep without
+// materialising the layer's spread vector: row v receives
+// Σ Vec[Idx[k]] for k in [Off[v], Off[v+1]). Vec must already carry
+// any per-entity scaling (see hetnet's scaled gather kernels).
+type AuxGather struct {
+	Off []int64
+	Idx []int32
+	Vec []float64
+}
+
+func (g *AuxGather) at(v int) float64 {
+	var s float64
+	for _, e := range g.Idx[g.Off[v]:g.Off[v+1]] {
+		s += g.Vec[e]
+	}
+	return s
+}
+
+// AuxLookup folds a single-assignment layer into a blend sweep: row v
+// receives Vec[Of[v]] when Of[v] >= 0 and 0 otherwise (the sentinel
+// for rows outside the layer).
+type AuxLookup struct {
+	Of  []int32
+	Vec []float64
+}
+
+func (l *AuxLookup) at(v int) float64 {
+	if o := l.Of[v]; o >= 0 {
+		return l.Vec[o]
+	}
+	return 0
+}
+
+// BlendStep is the fused heterogeneous-walk step used by QISA-Rank's
+// article–author–venue iteration. In one sweep it computes the
+// citation mat-vec and blends it with the restart vector r and the
+// author and venue layers, gathered inline from fa and fv:
+//
+//	dst[v] = λc·((Mᵀsrc)[v] + dm·r[v]) + λa·(fa(v) + aLeak·r[v])
+//	       + λv·(fv(v) + vLeak·r[v]) + λt·r[v]
+//
+// where fa(v) sums the (pre-scaled) author scores of row v and fv(v)
+// looks up the (pre-scaled) venue score of row v, so the spread
+// passes that would otherwise materialise those two vectors never
+// run. fa and fv may be nil when their λ is zero. It returns Σ dst
+// (for the caller's re-normalisation) and the dangling mass of dst
+// (pipelined, like DampedStep). dst and src must not alias.
+func (t *Transition) BlendStep(dst, src, r []float64, fa *AuxGather, fv *AuxLookup, lc, la, lv, lt, dm, aLeak, vLeak float64) (sum, danglingNext float64) {
+	// Constant-vector coefficients fold into a single multiplier of r.
+	rcoef := lc*dm + lt
+	if fa != nil {
+		rcoef += la * aLeak
+	}
+	if fv != nil {
+		rcoef += lv * vLeak
+	}
+	nc := t.numChunks()
+	if nc == 1 || t.pool.Workers() <= 1 {
+		return t.blendRange(dst, src, r, fa, fv, lc, la, lv, rcoef, 0, t.n)
+	}
+	parts := getPartials(nc)
+	ps := *parts
+	t.pool.Run(nc, func(c int) {
+		lo, hi := int(t.chunks[c]), int(t.chunks[c+1])
+		s, d := t.blendRange(dst, src, r, fa, fv, lc, la, lv, rcoef, lo, hi)
+		ps[c] = stepPartial{sum: s, dang: d}
+	})
+	total := reducePartials(ps)
+	partialsPool.Put(parts)
+	return total.sum, total.dang
+}
+
+func (t *Transition) blendRange(dst, src, r []float64, fa *AuxGather, fv *AuxLookup, lc, la, lv, rcoef float64, lo, hi int) (sum, dang float64) {
+	offs := t.offsets
+	mark := t.danglingMark
+	for v := lo; v < hi; v++ {
+		var s float64
+		start, end := offs[v], offs[v+1]
+		row := t.sources[start:end]
+		nrm := t.norm[start:end][:len(row)] // elides the nrm[i] bounds check
+		for i, u := range row {
+			s += src[u] * nrm[i]
+		}
+		x := lc*s + rcoef*r[v]
+		if fa != nil {
+			x += la * fa.at(v)
+		}
+		if fv != nil {
+			x += lv * fv.at(v)
+		}
+		dst[v] = x
+		sum += x
+		if mark[v] {
+			dang += x
+		}
+	}
+	return sum, dang
+}
+
+// ScaleDiffStep rescales dst in place by scale and returns the L1
+// distance ||scale·dst - src||₁ in the same parallel sweep. It is the
+// fused normalise-and-measure tail of the heterogeneous step: the
+// blend sweep produces an un-normalised vector and its sum; this
+// sweep applies 1/sum and reports the residual against the previous
+// iterate.
+func (t *Transition) ScaleDiffStep(dst, src []float64, scale float64) (res float64) {
+	nc := t.numChunks()
+	if nc == 1 || t.pool.Workers() <= 1 {
+		return scaleDiffRange(dst, src, scale, 0, len(dst))
+	}
+	parts := getPartials(nc)
+	ps := *parts
+	t.pool.Run(nc, func(c int) {
+		lo, hi := int(t.chunks[c]), int(t.chunks[c+1])
+		ps[c].res = scaleDiffRange(dst, src, scale, lo, hi)
+	})
+	total := reducePartials(ps)
+	partialsPool.Put(parts)
+	return total.res
+}
+
+func scaleDiffRange(dst, src []float64, scale float64, lo, hi int) (res float64) {
+	for v := lo; v < hi; v++ {
+		y := dst[v] * scale
+		dst[v] = y
+		res += math.Abs(y - src[v])
+	}
+	return res
+}

@@ -52,6 +52,14 @@ type IterStats struct {
 // src, it must fill dst with the next vector. dst and src never alias.
 type StepFunc func(dst, src []float64)
 
+// ResidualStepFunc is a fixed-point step that also reports the L1
+// residual ||dst - src||₁ of the transition it just performed. Fused
+// kernels (DampedStep, BlendStep + ScaleDiffStep) produce the
+// residual as a by-product of the sweep that writes dst, which lets
+// FixedPointResidual skip the separate L1Diff pass over both vectors
+// that FixedPoint pays every iteration.
+type ResidualStepFunc func(dst, src []float64) float64
+
 // DampedWalk computes the stationary distribution of the damped
 // random walk defined by the transition operator t:
 //
@@ -68,21 +76,40 @@ func DampedWalk(t *Transition, damping float64, teleport []float64, opts IterOpt
 // fixed point does not depend on init, but starting from a nearby
 // solution (a previous parameterisation's result) cuts the iteration
 // count — the warm-start path used by parameter sweeps.
+//
+// Each iteration is a single fused sweep (DampedStep): the mat-vec,
+// dangling redistribution, teleport blend and convergence residual
+// all happen in one pass over the operator, and the dangling mass of
+// the produced vector is carried into the next iteration instead of
+// being recomputed.
 func DampedWalkFrom(t *Transition, damping float64, teleport, init []float64, opts IterOptions) ([]float64, IterStats, error) {
-	step := func(dst, src []float64) {
-		t.MulVec(dst, src)
-		dm := t.DanglingMass(src)
-		for i := range dst {
-			dst[i] = damping*(dst[i]+dm*teleport[i]) + (1-damping)*teleport[i]
-		}
+	dm := t.DanglingMass(init) // seeds the pipelined dangling mass
+	step := func(dst, src []float64) float64 {
+		res, _, dmNext := t.DampedStep(dst, src, teleport, damping, dm)
+		dm = dmNext
+		return res
 	}
-	return FixedPoint(init, step, opts)
+	return FixedPointResidual(init, step, opts)
 }
 
 // FixedPoint iterates x ← step(x) from the given initial vector until
 // the L1 change drops below Tol or MaxIter is reached. It returns the
-// final vector (a fresh slice; init is not modified).
+// final vector (a fresh slice; init is not modified). Steps that can
+// produce their own residual should use FixedPointResidual and save a
+// pass per iteration.
 func FixedPoint(init []float64, step StepFunc, opts IterOptions) ([]float64, IterStats, error) {
+	return FixedPointResidual(init, func(dst, src []float64) float64 {
+		step(dst, src)
+		return L1Diff(dst, src)
+	}, opts)
+}
+
+// FixedPointResidual iterates x ← step(x) until the residual reported
+// by the step drops below Tol or MaxIter is reached. It is the fused
+// counterpart of FixedPoint: the driver itself never touches the
+// vectors, so a step backed by the fused kernels makes the whole
+// iteration a single sweep.
+func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions) ([]float64, IterStats, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, IterStats{}, err
@@ -91,8 +118,7 @@ func FixedPoint(init []float64, step StepFunc, opts IterOptions) ([]float64, Ite
 	next := make([]float64, len(init))
 	var st IterStats
 	for st.Iterations = 1; st.Iterations <= opts.MaxIter; st.Iterations++ {
-		step(next, cur)
-		st.Residual = L1Diff(next, cur)
+		st.Residual = step(next, cur)
 		if opts.Trace {
 			st.ResidualTrace = append(st.ResidualTrace, st.Residual)
 		}

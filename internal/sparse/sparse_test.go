@@ -125,7 +125,7 @@ func diamond(t testing.TB) *graph.Graph {
 }
 
 func TestTransitionMulVec(t *testing.T) {
-	tr := NewTransition(diamond(t), 1)
+	tr := NewTransition(diamond(t), nil)
 	if tr.N() != 4 {
 		t.Fatalf("N = %d", tr.N())
 	}
@@ -153,7 +153,7 @@ func TestTransitionWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := NewTransition(g, 1)
+	tr := NewTransition(g, nil)
 	x := []float64{1, 0, 0}
 	dst := make([]float64, 3)
 	tr.MulVec(dst, x)
@@ -167,7 +167,7 @@ func TestTransitionZeroWeightRowIsDangling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := NewTransition(g, 1)
+	tr := NewTransition(g, nil)
 	if tr.NumDangling() != 2 {
 		t.Errorf("NumDangling = %d, want 2 (zero-weight row counts)", tr.NumDangling())
 	}
@@ -184,7 +184,7 @@ func TestTransitionPreservesMassWithoutDangling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := NewTransition(g, 1)
+	tr := NewTransition(g, nil)
 	x := []float64{0.2, 0.3, 0.5}
 	dst := make([]float64, 3)
 	tr.MulVec(dst, x)
@@ -201,8 +201,13 @@ func TestTransitionParallelMatchesSerial(t *testing.T) {
 		_ = b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
 	}
 	g := b.Build()
-	serial := NewTransition(g, 1)
-	par := NewTransition(g, 4)
+	serial := NewTransition(g, nil)
+	pool := NewPool(4)
+	defer pool.Close()
+	par := NewTransition(g, pool)
+	if par.NumChunks() < 2 {
+		t.Fatalf("NumChunks = %d, want a multi-chunk plan for %d edges", par.NumChunks(), g.NumEdges())
+	}
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = rng.Float64()
@@ -215,7 +220,7 @@ func TestTransitionParallelMatchesSerial(t *testing.T) {
 	if d := MaxDiff(d1, d2); d > 1e-15 {
 		t.Errorf("parallel deviates from serial by %v", d)
 	}
-	par.SetWorkers(0) // selects NumCPU; should not panic
+	par.SetPool(nil) // back to serial; should not panic
 	par.MulVec(d2, x)
 }
 
@@ -298,7 +303,7 @@ func TestQuickMulVecNoMassCreation(t *testing.T) {
 		for i := 0; i < n*3; i++ {
 			_ = b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
 		}
-		tr := NewTransition(b.Build(), 1)
+		tr := NewTransition(b.Build(), nil)
 		x := make([]float64, n)
 		for i := range x {
 			x[i] = rng.Float64()
@@ -321,7 +326,7 @@ func TestQuickMassConservation(t *testing.T) {
 		for i := 0; i < n*2; i++ {
 			_ = b.AddWeightedEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rng.Float64()+0.1)
 		}
-		tr := NewTransition(b.Build(), 1)
+		tr := NewTransition(b.Build(), nil)
 		x := make([]float64, n)
 		for i := range x {
 			x[i] = rng.Float64()

@@ -1,8 +1,41 @@
 // Package sparse provides the numeric kernels shared by every
 // ranking algorithm in this repository: dense vector helpers, a
-// row-stochastic transition operator built from a directed graph
-// (with optional parallel application), and a generic power-iteration
-// driver with convergence tracing.
+// row-stochastic transition operator built from a directed graph, and
+// generic fixed-point drivers with convergence tracing.
+//
+// # Parallelism model
+//
+// All parallel kernels draw their workers from a Pool — a persistent
+// set of goroutines spawned once with NewPool, parked on a channel
+// between calls, and released with Close. Solvers therefore pay
+// goroutine-creation cost once per pool rather than once per
+// iteration. The typical shape is:
+//
+//	pool := sparse.NewPool(workers) // workers < 1 → NumCPU
+//	defer pool.Close()
+//	t := sparse.NewTransition(g, pool)
+//	scores, stats, err := sparse.DampedWalk(t, 0.85, teleport, opts)
+//
+// A nil *Pool is valid everywhere and selects serial execution, as
+// does a pool with a single worker. Work is divided according to an
+// edge-balanced chunk plan computed once per Transition (EdgeChunks):
+// chunk boundaries are found by binary search over the CSR offsets so
+// each chunk carries a near-equal edge count, which keeps the
+// heavy-tailed in-degree of citation graphs from serialising a sweep
+// on its hottest chunk. Operators too small to benefit get a
+// single-chunk plan and run inline.
+//
+// # Fused iteration steps
+//
+// The per-iteration cost of the damped-walk solvers is dominated by
+// memory traffic, so the hot steps are fused: DampedStep performs the
+// mat-vec, dangling-mass redistribution, teleport blend, L1 residual
+// and mass sum in a single sweep (with per-chunk partials combined by
+// a deterministic tree reduction), and BlendStep/ScaleDiffStep do the
+// same for the heterogeneous walk. Dangling mass is pipelined — each
+// step returns the dangling mass of the vector it produced for the
+// next step to consume — so no solver pass ever re-scans the dangling
+// set mid-iteration.
 package sparse
 
 import "math"
