@@ -15,10 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-## test-race: the packages that exercise the worker pool and fused
-## kernels, under the race detector.
+## test-race: the packages that exercise the worker pool, fused
+## kernels and the hot-swap serving path, under the race detector.
 test-race:
-	$(GO) test -race ./internal/sparse/... ./internal/core/... ./internal/hetnet/...
+	$(GO) test -race ./internal/sparse/... ./internal/core/... ./internal/hetnet/... ./internal/live/... ./internal/serve/...
 
 ## bench-quick: the headline solver benchmark on the shrunken corpus
 ## (seconds; EXPERIMENTS.md §F6 records the reference numbers).

@@ -7,6 +7,11 @@
 //	sarank -in corpus.jsonl -algo QISA-Rank -k 20
 //	sarank -in corpus.tsv -algo all -k 5
 //	sarank -in corpus.bin -entities
+//	sarank -in corpus.jsonl -save-scores ranking.snap
+//
+// With -save-scores the full QISA ranking (all signal components) is
+// persisted as a checksummed snapshot that sarserve -scores boots
+// from without re-solving.
 package main
 
 import (
@@ -17,11 +22,14 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"scholarrank/internal/cliutil"
+	"scholarrank/internal/core"
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/experiments"
 	"scholarrank/internal/hetnet"
+	"scholarrank/internal/live"
 	"scholarrank/internal/rank"
 )
 
@@ -45,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		k        = fs.Int("k", 20, "number of top articles to print")
 		workers  = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
 		entities = fs.Bool("entities", false, "also print top authors and venues (derived from article scores)")
+		save     = fs.String("save-scores", "", "write the QISA ranking as a snapshot file for sarserve -scores")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *save != "" && !strings.EqualFold(*algo, "QISA-Rank") {
+		return fmt.Errorf("-save-scores persists the full signal breakdown and needs -algo QISA-Rank, not %q", *algo)
 	}
 
 	store, err := cliutil.LoadCorpus(*in, *format)
@@ -61,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	net := hetnet.Build(store)
 	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",
 		store.NumArticles(), store.NumCitations(), store.NumAuthors(), store.NumVenues())
+
+	if *save != "" {
+		return rankAndSave(stdout, stderr, store, net, *workers, *k, *entities, *save)
+	}
 
 	var methods []experiments.Method
 	if strings.EqualFold(*algo, "all") {
@@ -83,17 +99,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, " (%d iterations, residual %.2e)", res.Stats.Iterations, res.Stats.Residual)
 		}
 		fmt.Fprintln(stdout)
-		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "rank\tscore\tyear\tkey\ttitle")
-		for pos, i := range rank.TopK(res.Scores, *k) {
-			a := store.Article(corpus.ArticleID(i))
-			title := a.Title
-			if len(title) > 60 {
-				title = title[:57] + "..."
-			}
-			fmt.Fprintf(tw, "%d\t%.6g\t%d\t%s\t%s\n", pos+1, res.Scores[i], a.Year, a.Key, title)
-		}
-		if err := tw.Flush(); err != nil {
+		if err := printTop(stdout, store, res.Scores, *k); err != nil {
 			return err
 		}
 		if *entities {
@@ -102,6 +108,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// printTop prints the top-k articles by score as a table.
+func printTop(w io.Writer, store *corpus.Store, scores []float64, k int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tscore\tyear\tkey\ttitle")
+	for pos, i := range rank.TopK(scores, k) {
+		a := store.Article(corpus.ArticleID(i))
+		title := a.Title
+		if len(title) > 60 {
+			title = title[:57] + "..."
+		}
+		fmt.Fprintf(tw, "%d\t%.6g\t%d\t%s\t%s\n", pos+1, scores[i], a.Year, a.Key, title)
+	}
+	return tw.Flush()
+}
+
+// rankAndSave runs the full QISA ranking (all signal components, not
+// just the blended score) and persists it as a serving snapshot.
+func rankAndSave(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
+	workers, k int, entities bool, path string) error {
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	sc, err := core.Rank(net, opts)
+	if err != nil {
+		return fmt.Errorf("QISA-Rank: %w", err)
+	}
+	fmt.Fprintf(stdout, "\n# QISA-Rank (%d iterations, residual %.2e)\n",
+		sc.PrestigeStats.Iterations, sc.PrestigeStats.Residual)
+	if err := printTop(stdout, store, sc.Importance, k); err != nil {
+		return err
+	}
+	if entities {
+		if err := printEntities(stdout, store, net, sc.Importance, k); err != nil {
+			return err
+		}
+	}
+	snap := live.Capture(store, sc, 1, time.Now().Unix())
+	if err := live.WriteSnapshotFile(path, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote ranking snapshot %s (%d articles, fingerprint %016x)\n",
+		path, snap.Articles, snap.Fingerprint)
 	return nil
 }
 

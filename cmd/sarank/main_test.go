@@ -9,6 +9,7 @@ import (
 
 	"scholarrank/internal/cliutil"
 	"scholarrank/internal/corpus"
+	"scholarrank/internal/live"
 )
 
 // writeTestCorpus creates a small corpus file and returns its path.
@@ -95,6 +96,42 @@ func TestRunEntities(t *testing.T) {
 	// JSONL stores keys only, so the reloaded author's name is its key.
 	if !strings.Contains(out.String(), "au (5 articles)") {
 		t.Errorf("author line missing: %q", out.String())
+	}
+}
+
+func TestRunSaveScores(t *testing.T) {
+	path := writeTestCorpus(t)
+	snapPath := filepath.Join(t.TempDir(), "ranking.snap")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-save-scores", snapPath, "-k", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# QISA-Rank") {
+		t.Errorf("missing ranking table: %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "wrote ranking snapshot") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+	snap, err := live.ReadSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Articles != 5 || len(snap.Importance) != 5 {
+		t.Errorf("snapshot = %d articles, %d scores", snap.Articles, len(snap.Importance))
+	}
+	// The snapshot must verify against a reload of the same corpus.
+	store, err := cliutil.LoadCorpus(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Matches(store); err != nil {
+		t.Error(err)
+	}
+
+	// -save-scores is QISA-specific: other algorithms lack the signal
+	// components a snapshot carries.
+	if err := run([]string{"-in", path, "-algo", "PageRank", "-save-scores", snapPath}, &out, &errBuf); err == nil {
+		t.Error("-save-scores with -algo PageRank accepted")
 	}
 }
 

@@ -1,44 +1,66 @@
 // Command sarserve exposes a ranked corpus over HTTP: the production
 // shape of query-independent ranking, where scores are computed
-// offline and served as a static signal to a search stack.
+// offline and served as a static signal to a search stack. The
+// ranking can be updated while serving: deltas arrive over
+// /admin/ingest or through a watched spool directory, are re-solved
+// warm-started from the live scores, and swap in atomically.
 //
 // Endpoints:
 //
-//	GET /healthz                 liveness
-//	GET /stats                   corpus + ranking metadata
-//	GET /top?k=20                top-k articles by importance
-//	GET /article?key=p00000001   one article with its score components
-//	GET /compare?a=KEY&b=KEY     relative order of two articles, with
-//	                             the signal breakdown explaining it
-//	GET /authors?k=20            top authors (shrunk-mean aggregation)
-//	GET /venues?k=20             top venues likewise
-//	GET /related?key=KEY&k=10    articles related to KEY (personalised walk)
+//	GET  /healthz                 liveness + ranking version/staleness
+//	GET  /stats                   corpus + ranking metadata
+//	GET  /top?k=20                top-k articles by importance
+//	GET  /article?key=p00000001   one article with its score components
+//	GET  /compare?a=KEY&b=KEY     relative order of two articles, with
+//	                              the signal breakdown explaining it
+//	GET  /authors?k=20            top authors (shrunk-mean aggregation)
+//	GET  /venues?k=20             top venues likewise
+//	GET  /related?key=KEY&k=10    articles related to KEY (personalised walk)
+//	POST /admin/ingest            apply a JSONL delta and re-rank
+//	POST /admin/reload            drain the spool and force a re-solve
+//	GET  /admin/snapshot          download the current ranking snapshot
 //
 // Usage:
 //
 //	sarserve -in corpus.jsonl -addr :8080
+//	sarserve -in corpus.jsonl -scores ranking.snap        # boot without solving
+//	sarserve -in corpus.jsonl -spool deltas/ -refresh 30s # live updates
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scholarrank/internal/cliutil"
 	"scholarrank/internal/core"
+	"scholarrank/internal/live"
 	"scholarrank/internal/serve"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after a
+// termination signal before the listener is torn down.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sarserve: ")
 
 	var (
-		in      = flag.String("in", "", "corpus file (jsonl or tsv); required")
-		format  = flag.String("format", "", "corpus format override")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		in       = flag.String("in", "", "corpus file (jsonl or tsv); required")
+		format   = flag.String("format", "", "corpus format override")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		scores   = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
+		spool    = flag.String("spool", "", "directory watched for JSONL delta files")
+		refresh  = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
+		debounce = flag.Duration("debounce", 2*time.Second, "quiet period before a spool batch is ingested")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,20 +72,62 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ranking %d articles...", store.NumArticles())
-	start := time.Now()
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
-	srv, err := serve.New(store, opts)
-	if err != nil {
-		log.Fatal(err)
+	cfg := serve.Config{
+		Options:         opts,
+		SpoolDir:        *spool,
+		RefreshInterval: *refresh,
+		Debounce:        *debounce,
 	}
-	log.Printf("ranked in %v; serving on %s", time.Since(start).Round(time.Millisecond), *addr)
+
+	start := time.Now()
+	var srv *serve.Server
+	if *scores != "" {
+		snap, err := live.ReadSnapshotFile(*scores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if srv, err = serve.NewFromSnapshot(store, snap, cfg); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("booted from snapshot %s (generation %d, %d articles) in %v",
+			*scores, srv.Version(), store.NumArticles(), time.Since(start).Round(time.Millisecond))
+	} else {
+		log.Printf("ranking %d articles...", store.NumArticles())
+		if srv, err = serve.NewWithConfig(store, cfg); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ranked in %v", time.Since(start).Round(time.Millisecond))
+	}
+	if *spool != "" {
+		log.Printf("watching spool %s every %v", *spool, *refresh)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Print("signal received, draining...")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Print("stopped")
 }

@@ -134,6 +134,15 @@ type Options struct {
 	// Iter controls convergence of both iterative stages.
 	Iter sparse.IterOptions
 
+	// InitialScores optionally seeds the iterative stages from a
+	// previous solution — the warm-start path of live corpus updates,
+	// where a delta grows the corpus slightly and the previous score
+	// vector (extended with sparse.Resized) is already close to the
+	// new fixed point. The fixed points do not depend on the starting
+	// vector, so this is purely an iteration-count optimisation.
+	// Vectors must have length NumArticles; either may be nil.
+	InitialScores *InitialScores
+
 	// Ablation switches used by the experiment suite.
 	//
 	// DisableTimeDecay forces both decay rates to zero, degrading
@@ -221,6 +230,37 @@ func (o Options) validate() error {
 	return nil
 }
 
+// InitialScores carries previous-solution vectors used to warm-start
+// the two iterative stages. Prestige should be the raw walk result
+// (Scores.RawPrestige) — the faded vector is age-reweighted away from
+// the walk's fixed point and seeds no better than the teleport — but
+// any distribution near the fixed point works, closer is faster.
+type InitialScores struct {
+	Prestige []float64
+	Hetero   []float64
+}
+
+// FromScores packages a previous ranking as a warm start, resizing
+// each vector to n articles (new tail at zero). The raw prestige is
+// preferred over the faded one when available. A nil scores returns
+// nil, selecting a cold start.
+func FromScores(prev *Scores, n int) *InitialScores {
+	if prev == nil {
+		return nil
+	}
+	init := &InitialScores{}
+	switch {
+	case prev.RawPrestige != nil:
+		init.Prestige = sparse.Resized(prev.RawPrestige, n)
+	case prev.Prestige != nil:
+		init.Prestige = sparse.Resized(prev.Prestige, n)
+	}
+	if prev.Hetero != nil {
+		init.Hetero = sparse.Resized(prev.Hetero, n)
+	}
+	return init
+}
+
 // Scores carries the final importance vector together with each
 // component signal, so experiments can ablate without recomputation.
 // All vectors are indexed by dense article id.
@@ -231,6 +271,10 @@ type Scores struct {
 	Prestige   []float64
 	Popularity []float64
 	Hetero     []float64
+	// RawPrestige is the prestige walk's fixed point before the
+	// RhoFade age decay — the vector to warm-start a future solve
+	// from (see InitialScores). With RhoFade = 0 it equals Prestige.
+	RawPrestige []float64
 	// PrestigeStats and HeteroStats report convergence of the two
 	// iterative stages.
 	PrestigeStats sparse.IterStats

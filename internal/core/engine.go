@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"runtime"
 
 	"scholarrank/internal/hetnet"
@@ -34,6 +36,43 @@ type Engine struct {
 	// optimisation.
 	warmPrestige map[float64][]float64
 	warmHetero   []float64
+}
+
+// prestige returns the explicit prestige seed, nil-safe.
+func (in *InitialScores) prestige() []float64 {
+	if in == nil {
+		return nil
+	}
+	return in.Prestige
+}
+
+// hetero returns the explicit hetero seed, nil-safe.
+func (in *InitialScores) hetero() []float64 {
+	if in == nil {
+		return nil
+	}
+	return in.Hetero
+}
+
+// warmVector selects the starting vector for an iterative stage: an
+// explicit Options.InitialScores seed wins over the engine's cached
+// previous solution; nil means cold start. Explicit seeds are
+// validated against the network size and L1-normalised on a copy
+// (solver fixed points are probability vectors; a well-scaled start
+// converges in fewer sweeps). A seed with no mass — all zeros, as
+// Resized produces for an all-new corpus — degrades to a cold start.
+func warmVector(explicit, cached []float64, n int) ([]float64, error) {
+	if explicit == nil {
+		return cached, nil
+	}
+	if len(explicit) != n {
+		return nil, fmt.Errorf("%w: initial vector length %d, want %d", ErrBadOptions, len(explicit), n)
+	}
+	v := sparse.Clone(explicit)
+	if s := sparse.Normalize1(v); s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, nil
+	}
+	return v, nil
 }
 
 // NewEngine wraps a network for repeated ranking. The network must
@@ -126,7 +165,15 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 	if err != nil {
 		return nil, err
 	}
-	rawPrestige, pStats, err := computePrestige(e.net, opts, gapTrans, e.warmPrestige[opts.RhoGap])
+	initPrestige, err := warmVector(opts.InitialScores.prestige(), e.warmPrestige[opts.RhoGap], e.net.NumArticles())
+	if err != nil {
+		return nil, fmt.Errorf("core: prestige warm start: %w", err)
+	}
+	initHetero, err := warmVector(opts.InitialScores.hetero(), e.warmHetero, e.net.NumArticles())
+	if err != nil {
+		return nil, fmt.Errorf("core: hetero warm start: %w", err)
+	}
+	rawPrestige, pStats, err := computePrestige(e.net, opts, gapTrans, initPrestige)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +183,7 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 		return nil, err
 	}
 	popularity := computePopularity(e.net, opts)
-	hetero, hStats, err := computeHetero(e.net, opts, e.citationTransition(pool), pool, e.warmHetero)
+	hetero, hStats, err := computeHetero(e.net, opts, e.citationTransition(pool), pool, initHetero)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +197,7 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 		Prestige:      prestige,
 		Popularity:    popularity,
 		Hetero:        hetero,
+		RawPrestige:   rawPrestige,
 		PrestigeStats: pStats,
 		HeteroStats:   hStats,
 	}, nil

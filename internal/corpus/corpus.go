@@ -267,3 +267,42 @@ func (s *Store) VisitArticles(fn func(id ArticleID, a *Article)) {
 		fn(ArticleID(i), &s.articles[i])
 	}
 }
+
+// Refs returns the citation targets recorded for article from,
+// including duplicates. The slice aliases Store-owned storage and
+// must not be modified.
+func (s *Store) Refs(from ArticleID) []ArticleID {
+	return s.articles[from].Refs
+}
+
+// Clone returns a deep copy of the corpus. The copy shares no mutable
+// state with the original, so a live system can keep serving reads
+// from the original while a delta is applied to the clone — the
+// copy-on-write step behind atomic generation swaps.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		articles:    make([]Article, len(s.articles)),
+		byKey:       make(map[string]ArticleID, len(s.byKey)),
+		authors:     append([]Author(nil), s.authors...),
+		authorByKey: make(map[string]AuthorID, len(s.authorByKey)),
+		venues:      append([]Venue(nil), s.venues...),
+		venueByKey:  make(map[string]VenueID, len(s.venueByKey)),
+		citations:   s.citations,
+	}
+	copy(c.articles, s.articles)
+	for i := range c.articles {
+		a := &c.articles[i]
+		a.Authors = append([]AuthorID(nil), a.Authors...)
+		a.Refs = append([]ArticleID(nil), a.Refs...)
+	}
+	for k, v := range s.byKey {
+		c.byKey[k] = v
+	}
+	for k, v := range s.authorByKey {
+		c.authorByKey[k] = v
+	}
+	for k, v := range s.venueByKey {
+		c.venueByKey[k] = v
+	}
+	return c
+}

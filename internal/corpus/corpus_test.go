@@ -351,3 +351,41 @@ func TestTSVUnknownRef(t *testing.T) {
 		t.Errorf("citations = %d", s.NumCitations())
 	}
 }
+
+func TestCloneIndependent(t *testing.T) {
+	s := buildTiny(t)
+	c := s.Clone()
+	if c.NumArticles() != s.NumArticles() || c.NumCitations() != s.NumCitations() ||
+		c.NumAuthors() != s.NumAuthors() || c.NumVenues() != s.NumVenues() {
+		t.Fatalf("clone counts differ: %d/%d/%d/%d", c.NumArticles(), c.NumCitations(), c.NumAuthors(), c.NumVenues())
+	}
+	// Mutate the clone: new author, new article, new citation into p0.
+	au, err := c.InternAuthor("z", "Zoe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := c.ArticleByKey("p0")
+	p3, err := c.AddArticle(ArticleMeta{Key: "p3", Year: 2012, Venue: NoVenue, Authors: []AuthorID{au}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCitation(p3, p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCitation(1, 0); err != nil { // grow an existing article's refs
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 3 || s.NumAuthors() != 2 || s.NumCitations() != 3 {
+		t.Errorf("original mutated: %d articles, %d authors, %d citations",
+			s.NumArticles(), s.NumAuthors(), s.NumCitations())
+	}
+	if len(s.Refs(1)) != 1 {
+		t.Errorf("original refs(p1) = %v", s.Refs(1))
+	}
+	if _, ok := s.ArticleByKey("p3"); ok {
+		t.Error("original sees clone's article")
+	}
+	if c.NumArticles() != 4 || c.NumCitations() != 5 {
+		t.Errorf("clone counts after mutation: %d/%d", c.NumArticles(), c.NumCitations())
+	}
+}

@@ -110,6 +110,75 @@ func Build(s *corpus.Store) *Network {
 	return n
 }
 
+// Grow builds the Network for a corpus that evolved from the one old
+// indexes — the delta-ingest path of a live system. The citation
+// operator is always rebuilt (deltas add citations by definition),
+// but when the delta touched no article metadata — same articles,
+// authors and venues, only new citation edges between existing
+// articles — the bipartite author/venue layers, the years vector and
+// the lazily-built pull index are carried over from old instead of
+// being reindexed. All carried-over state is immutable, so the old
+// network keeps serving concurrently. A nil old degrades to Build.
+func Grow(old *Network, s *corpus.Store) *Network {
+	if old == nil || !sameEntityShape(old, s) {
+		return Build(s)
+	}
+	n := &Network{
+		store:          s,
+		Citations:      s.CitationGraph(),
+		Years:          old.Years,
+		Now:            old.Now,
+		authorOffsets:  old.authorOffsets,
+		authorArticles: old.authorArticles,
+		venueOffsets:   old.venueOffsets,
+		venueArticles:  old.venueArticles,
+	}
+	old.pullOnce.Do(old.buildPullIndex)
+	n.artAuthorOff = old.artAuthorOff
+	n.artAuthors = old.artAuthors
+	n.invArtAuthors = old.invArtAuthors
+	n.invAuthorArts = old.invAuthorArts
+	n.venueOf = old.venueOf
+	n.invVenueArts = old.invVenueArts
+	n.noAuthorArts = old.noAuthorArts
+	n.noVenueArts = old.noVenueArts
+	n.authorChunks = old.authorChunks
+	n.venueChunks = old.venueChunks
+	n.articleChunks = old.articleChunks
+	n.pullOnce.Do(func() {}) // mark the copied pull index as built
+	return n
+}
+
+// sameEntityShape reports whether the store has exactly the entity
+// structure old was indexed from: equal article/author/venue counts
+// with unchanged per-article years, authors and venues. Citations are
+// deliberately not compared — they are what a delta changes.
+func sameEntityShape(old *Network, s *corpus.Store) bool {
+	if s.NumArticles() != old.NumArticles() ||
+		s.NumAuthors() != old.NumAuthors() ||
+		s.NumVenues() != old.NumVenues() {
+		return false
+	}
+	same := true
+	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		if !same {
+			return
+		}
+		if float64(a.Year) != old.Years[id] || a.Venue != old.store.Article(id).Venue ||
+			len(a.Authors) != len(old.store.Article(id).Authors) {
+			same = false
+			return
+		}
+		for i, au := range a.Authors {
+			if au != old.store.Article(id).Authors[i] {
+				same = false
+				return
+			}
+		}
+	})
+	return same
+}
+
 // Store returns the underlying corpus.
 func (n *Network) Store() *corpus.Store { return n.store }
 
@@ -180,47 +249,51 @@ func (n *Network) CoauthorGraph() *graph.Graph {
 // inverse degrees, and edge-balanced chunk plans so the pool's
 // workers each carry a near-equal share of the bipartite edges.
 func (n *Network) ensurePullIndex() {
-	n.pullOnce.Do(func() {
-		nArt := n.NumArticles()
-		n.artAuthorOff = make([]int64, nArt+1)
-		n.invArtAuthors = make([]float64, nArt)
-		n.venueOf = make([]corpus.VenueID, nArt)
-		var total int64
-		n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-			n.artAuthorOff[id] = total
-			total += int64(len(a.Authors))
-			if len(a.Authors) > 0 {
-				n.invArtAuthors[id] = 1 / float64(len(a.Authors))
-			} else {
-				n.noAuthorArts = append(n.noAuthorArts, id)
-			}
-			n.venueOf[id] = a.Venue
-			if a.Venue == corpus.NoVenue {
-				n.noVenueArts = append(n.noVenueArts, id)
-			}
-		})
-		n.artAuthorOff[nArt] = total
-		n.artAuthors = make([]corpus.AuthorID, total)
-		n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-			copy(n.artAuthors[n.artAuthorOff[id]:], a.Authors)
-		})
+	n.pullOnce.Do(n.buildPullIndex)
+}
 
-		n.invAuthorArts = make([]float64, n.NumAuthors())
-		for a := range n.invAuthorArts {
-			if d := n.authorOffsets[a+1] - n.authorOffsets[a]; d > 0 {
-				n.invAuthorArts[a] = 1 / float64(d)
-			}
+// buildPullIndex is the ensurePullIndex body; Grow also calls it (via
+// the old network's once) so a grown network can copy the result.
+func (n *Network) buildPullIndex() {
+	nArt := n.NumArticles()
+	n.artAuthorOff = make([]int64, nArt+1)
+	n.invArtAuthors = make([]float64, nArt)
+	n.venueOf = make([]corpus.VenueID, nArt)
+	var total int64
+	n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		n.artAuthorOff[id] = total
+		total += int64(len(a.Authors))
+		if len(a.Authors) > 0 {
+			n.invArtAuthors[id] = 1 / float64(len(a.Authors))
+		} else {
+			n.noAuthorArts = append(n.noAuthorArts, id)
 		}
-		n.invVenueArts = make([]float64, n.NumVenues())
-		for v := range n.invVenueArts {
-			if d := n.venueOffsets[v+1] - n.venueOffsets[v]; d > 0 {
-				n.invVenueArts[v] = 1 / float64(d)
-			}
+		n.venueOf[id] = a.Venue
+		if a.Venue == corpus.NoVenue {
+			n.noVenueArts = append(n.noVenueArts, id)
 		}
-		n.authorChunks = sparse.EdgeChunks(n.authorOffsets)
-		n.venueChunks = sparse.EdgeChunks(n.venueOffsets)
-		n.articleChunks = sparse.EdgeChunks(n.artAuthorOff)
 	})
+	n.artAuthorOff[nArt] = total
+	n.artAuthors = make([]corpus.AuthorID, total)
+	n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
+		copy(n.artAuthors[n.artAuthorOff[id]:], a.Authors)
+	})
+
+	n.invAuthorArts = make([]float64, n.NumAuthors())
+	for a := range n.invAuthorArts {
+		if d := n.authorOffsets[a+1] - n.authorOffsets[a]; d > 0 {
+			n.invAuthorArts[a] = 1 / float64(d)
+		}
+	}
+	n.invVenueArts = make([]float64, n.NumVenues())
+	for v := range n.invVenueArts {
+		if d := n.venueOffsets[v+1] - n.venueOffsets[v]; d > 0 {
+			n.invVenueArts[v] = 1 / float64(d)
+		}
+	}
+	n.authorChunks = sparse.EdgeChunks(n.authorOffsets)
+	n.venueChunks = sparse.EdgeChunks(n.venueOffsets)
+	n.articleChunks = sparse.EdgeChunks(n.artAuthorOff)
 }
 
 // SpreadAuthorsToArticles distributes each author's score uniformly

@@ -268,3 +268,80 @@ func TestGatherSpreadPooledMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestGrowCitationDelta checks the incremental rebuild path: a delta
+// that only adds citations between existing articles must reuse the
+// old network's bipartite layers yet expose the new citation edges,
+// and every kernel must agree with a from-scratch Build.
+func TestGrowCitationDelta(t *testing.T) {
+	old := buildTiny(t)
+	grown := old.Store().Clone()
+	p0, _ := grown.ArticleByKey("p0")
+	p1, _ := grown.ArticleByKey("p1")
+	if err := grown.AddCitation(p1, p0); err != nil { // duplicate edge, merges
+		t.Fatal(err)
+	}
+	n := Grow(old, grown)
+	fresh := Build(grown)
+
+	if n.Store() != grown {
+		t.Error("grown network not bound to the new store")
+	}
+	if n.Citations.NumEdges() != fresh.Citations.NumEdges() {
+		t.Errorf("citation edges = %d, want %d", n.Citations.NumEdges(), fresh.Citations.NumEdges())
+	}
+	// Layer reuse: the CSR slices must be shared with the old network.
+	if &n.authorArticles[0] != &old.authorArticles[0] || &n.venueArticles[0] != &old.venueArticles[0] {
+		t.Error("bipartite layers were rebuilt for a citation-only delta")
+	}
+	// Kernels agree with a fresh build.
+	art := []float64{0.5, 0.3, 0.2}
+	gotA := make([]float64, n.NumAuthors())
+	wantA := make([]float64, n.NumAuthors())
+	leakGot := n.GatherArticlesToAuthors(gotA, art)
+	leakWant := fresh.GatherArticlesToAuthors(wantA, art)
+	if leakGot != leakWant {
+		t.Errorf("author leak = %v, want %v", leakGot, leakWant)
+	}
+	for i := range gotA {
+		if math.Abs(gotA[i]-wantA[i]) > 1e-15 {
+			t.Errorf("author gather[%d] = %v, want %v", i, gotA[i], wantA[i])
+		}
+	}
+	// Old network still serves its pre-delta citation view.
+	if old.Citations.NumEdges() != 3 {
+		t.Errorf("old network mutated: %d edges", old.Citations.NumEdges())
+	}
+}
+
+// TestGrowEntityDelta checks that a delta adding an article falls
+// back to a full rebuild with correct layers.
+func TestGrowEntityDelta(t *testing.T) {
+	old := buildTiny(t)
+	grown := old.Store().Clone()
+	a, _ := grown.ArticleByKey("p0")
+	au, err := grown.InternAuthor("c", "Carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := grown.AddArticle(corpus.ArticleMeta{Key: "p3", Year: 2012, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.AddCitation(p3, a); err != nil {
+		t.Fatal(err)
+	}
+	n := Grow(old, grown)
+	if n.NumArticles() != 4 || n.NumAuthors() != 3 {
+		t.Fatalf("grown counts %d/%d", n.NumArticles(), n.NumAuthors())
+	}
+	if n.Now != 2012 {
+		t.Errorf("Now = %v, want 2012 after entity rebuild", n.Now)
+	}
+	if got := n.AuthorArticles(au); len(got) != 1 || got[0] != p3 {
+		t.Errorf("AuthorArticles(c) = %v", got)
+	}
+	if Grow(nil, grown).NumArticles() != 4 {
+		t.Error("Grow(nil) did not build")
+	}
+}

@@ -1,0 +1,137 @@
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"scholarrank/internal/corpus"
+)
+
+// deltaRecord is one line of a JSONL delta batch. It reuses the
+// corpus JSONL article schema: a record whose id is new to the corpus
+// adds that article (title, year, venue, authors, refs); a record
+// whose id already exists is a citation carrier — its refs are added
+// as new citations and the other fields are ignored.
+type deltaRecord struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title,omitempty"`
+	Year    int      `json:"year"`
+	Venue   string   `json:"venue,omitempty"`
+	Authors []string `json:"authors,omitempty"`
+	Refs    []string `json:"refs,omitempty"`
+}
+
+// DeltaStats summarises what ApplyDelta changed.
+type DeltaStats struct {
+	// NewArticles and NewCitations count what the batch added.
+	NewArticles  int `json:"new_articles"`
+	NewCitations int `json:"new_citations"`
+	// DuplicateCitations counts refs that were already recorded and
+	// were skipped, keeping delta application idempotent.
+	DuplicateCitations int `json:"duplicate_citations"`
+	// DroppedRefs counts citations to keys unknown both to the corpus
+	// and to the batch — references outside the crawl, dropped the
+	// same way the bulk loaders drop them.
+	DroppedRefs int `json:"dropped_refs"`
+}
+
+// Empty reports whether the delta changed nothing.
+func (d DeltaStats) Empty() bool { return d.NewArticles == 0 && d.NewCitations == 0 }
+
+// ApplyDelta reads a JSONL delta batch from r and applies it to s,
+// returning what changed. Articles are added in a first pass and
+// citations resolved in a second, so refs may point forward to
+// articles later in the same batch. Apply deltas to a Store clone —
+// on error the store may hold a prefix of the batch, and a live
+// server must not serve that.
+func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
+	var stats DeltaStats
+	type pending struct {
+		from corpus.ArticleID
+		refs []string
+	}
+	var todo []pending
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec deltaRecord
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return stats, fmt.Errorf("live: delta line %d: %w", line, err)
+		}
+		if rec.ID == "" {
+			return stats, fmt.Errorf("live: delta line %d: missing id", line)
+		}
+		id, exists := s.ArticleByKey(rec.ID)
+		if !exists {
+			venue := corpus.NoVenue
+			if rec.Venue != "" {
+				v, err := s.InternVenue(rec.Venue, rec.Venue)
+				if err != nil {
+					return stats, fmt.Errorf("live: delta line %d: %w", line, err)
+				}
+				venue = v
+			}
+			authors := make([]corpus.AuthorID, 0, len(rec.Authors))
+			for _, ak := range rec.Authors {
+				a, err := s.InternAuthor(ak, ak)
+				if err != nil {
+					return stats, fmt.Errorf("live: delta line %d: %w", line, err)
+				}
+				authors = append(authors, a)
+			}
+			var err error
+			id, err = s.AddArticle(corpus.ArticleMeta{
+				Key: rec.ID, Title: rec.Title, Year: rec.Year,
+				Venue: venue, Authors: authors,
+			})
+			if err != nil {
+				return stats, fmt.Errorf("live: delta line %d: %w", line, err)
+			}
+			stats.NewArticles++
+		}
+		if len(rec.Refs) > 0 {
+			todo = append(todo, pending{from: id, refs: rec.Refs})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, fmt.Errorf("live: delta scan: %w", err)
+	}
+	for _, p := range todo {
+		existing := make(map[corpus.ArticleID]struct{}, len(s.Refs(p.from)))
+		for _, ref := range s.Refs(p.from) {
+			existing[ref] = struct{}{}
+		}
+		for _, key := range p.refs {
+			to, ok := s.ArticleByKey(key)
+			if !ok {
+				stats.DroppedRefs++
+				continue
+			}
+			if to == p.from {
+				// Metadata noise; the store would reject it anyway.
+				stats.DroppedRefs++
+				continue
+			}
+			if _, dup := existing[to]; dup {
+				stats.DuplicateCitations++
+				continue
+			}
+			if err := s.AddCitation(p.from, to); err != nil {
+				return stats, fmt.Errorf("live: delta citation %q->%q: %w",
+					s.Article(p.from).Key, key, err)
+			}
+			existing[to] = struct{}{}
+			stats.NewCitations++
+		}
+	}
+	return stats, nil
+}

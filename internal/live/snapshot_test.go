@@ -1,0 +1,218 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+// rankedFixture builds a small ranked corpus.
+func rankedFixture(t testing.TB) (*corpus.Store, *core.Scores) {
+	t.Helper()
+	s := corpus.NewStore()
+	au, _ := s.InternAuthor("au", "Author")
+	v, _ := s.InternVenue("v", "Venue")
+	var ids []corpus.ArticleID
+	for i, year := range []int{1995, 2000, 2005, 2010, 2015} {
+		id, err := s.AddArticle(corpus.ArticleMeta{
+			Key: string(rune('a' + i)), Title: "T", Year: year,
+			Venue: v, Authors: []corpus.AuthorID{au},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j++ {
+			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sc, err := core.Rank(hetnet.Build(s), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, sc
+}
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 7, 1700000000)
+
+	var first bytes.Buffer
+	if err := WriteSnapshot(&first, sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.CreatedUnix != 1700000000 ||
+		got.Fingerprint != sn.Fingerprint ||
+		got.Articles != store.NumArticles() || got.Citations != store.NumCitations() {
+		t.Errorf("header round trip: %+v", got)
+	}
+	for name, pair := range map[string][2][]float64{
+		"Importance":  {got.Importance, sn.Importance},
+		"Prestige":    {got.Prestige, sn.Prestige},
+		"Popularity":  {got.Popularity, sn.Popularity},
+		"Hetero":      {got.Hetero, sn.Hetero},
+		"RawPrestige": {got.RawPrestige, sn.RawPrestige},
+		"Percentile":  {got.Percentile, sn.Percentile},
+	} {
+		if sparse.MaxDiff(pair[0], pair[1]) != 0 {
+			t.Errorf("%s not bit-identical", name)
+		}
+	}
+	if got.PrestigeStats.Iterations != sn.PrestigeStats.Iterations ||
+		got.PrestigeStats.Residual != sn.PrestigeStats.Residual ||
+		got.PrestigeStats.Converged != sn.PrestigeStats.Converged ||
+		got.HeteroStats.Iterations != sn.HeteroStats.Iterations {
+		t.Errorf("stats round trip: %+v vs %+v", got.PrestigeStats, sn.PrestigeStats)
+	}
+
+	// Re-encoding the decoded snapshot must reproduce the bytes.
+	var second bytes.Buffer
+	if err := WriteSnapshot(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("re-encode is not bit-identical")
+	}
+}
+
+func TestSnapshotChecksumDetectsCorruption(t *testing.T) {
+	store, sc := rankedFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, Capture(store, sc, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, off := range []int{len(snapshotMagic) + 1, len(raw) / 2, len(raw) - 5} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Errorf("corruption at offset %d not detected", off)
+		}
+	}
+	// A flip confined to the payload must surface as a CRC mismatch.
+	bad := append([]byte(nil), raw...)
+	bad[len(raw)-20] ^= 0x01
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotCRC) {
+		t.Errorf("payload flip: err = %v, want ErrSnapshotCRC", err)
+	}
+}
+
+func TestSnapshotBadInputs(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("XXXXX"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte{'S', 'R', 'N', 'K', 'S', 99})); !errors.Is(err, ErrSnapshotVers) {
+		t.Errorf("bad version: %v", err)
+	}
+	store, sc := rankedFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, Capture(store, sc, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestSnapshotMatches(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 1, 0)
+	if err := sn.Matches(store); err != nil {
+		t.Errorf("self match: %v", err)
+	}
+	clone := store.Clone()
+	if err := sn.Matches(clone); err != nil {
+		t.Errorf("clone match: %v", err)
+	}
+	a, _ := clone.ArticleByKey("a")
+	e, _ := clone.ArticleByKey("e")
+	if err := clone.AddCitation(a, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.Matches(clone); !errors.Is(err, ErrFingerprint) {
+		t.Errorf("mutated corpus: err = %v, want ErrFingerprint", err)
+	}
+}
+
+func TestSnapshotScoresView(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 1, 0)
+	back := sn.Scores()
+	if sparse.MaxDiff(back.Importance, sc.Importance) != 0 ||
+		sparse.MaxDiff(back.RawPrestige, sc.RawPrestige) != 0 {
+		t.Error("Scores() does not round-trip the vectors")
+	}
+	if back.PrestigeStats.Iterations != sc.PrestigeStats.Iterations {
+		t.Error("Scores() drops stats")
+	}
+	// Percentiles descend with rank: the top article holds 1.0.
+	top, bottom := 0.0, 2.0
+	for _, p := range sn.Percentile {
+		if p > top {
+			top = p
+		}
+		if p < bottom {
+			bottom = p
+		}
+	}
+	if top != 1 || bottom != 0 {
+		t.Errorf("percentile range [%v, %v], want [0, 1]", bottom, top)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 3, 42)
+	path := filepath.Join(t.TempDir(), "rank.snap")
+	if err := WriteSnapshotFile(path, sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 || got.Fingerprint != sn.Fingerprint {
+		t.Errorf("file round trip: %+v", got)
+	}
+	if err := got.Matches(store); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	store, _ := rankedFixture(t)
+	base := Fingerprint(store)
+	if Fingerprint(store.Clone()) != base {
+		t.Error("clone changes fingerprint")
+	}
+	withCite := store.Clone()
+	a, _ := withCite.ArticleByKey("a")
+	e, _ := withCite.ArticleByKey("e")
+	if err := withCite.AddCitation(a, e); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(withCite) == base {
+		t.Error("new citation does not change fingerprint")
+	}
+	withArt := store.Clone()
+	if _, err := withArt.AddArticle(corpus.ArticleMeta{Key: "z", Year: 2016, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(withArt) == base {
+		t.Error("new article does not change fingerprint")
+	}
+}

@@ -1,0 +1,73 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpoolFile is one pending delta file in a spool directory.
+type SpoolFile struct {
+	Path    string
+	ModTime time.Time
+}
+
+// doneSuffix marks a spool file as ingested. Processed files are kept
+// (renamed, not deleted) so an operator can audit or replay them.
+const doneSuffix = ".done"
+
+// PendingDeltas lists the unprocessed delta files (*.jsonl) in dir,
+// sorted by name — producers name spool files monotonically
+// (timestamps, sequence numbers), so name order is ingest order. A
+// missing or empty directory returns nil, nil: an idle spool is not
+// an error.
+func PendingDeltas(dir string) ([]SpoolFile, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("live: scan spool: %w", err)
+	}
+	var out []SpoolFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			// Raced with a concurrent rename/removal; skip this round.
+			continue
+		}
+		out = append(out, SpoolFile{Path: filepath.Join(dir, name), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// NewestModTime returns the latest modification time among files, or
+// the zero time for an empty list. The refresher's debounce compares
+// it against the clock: a batch still being written settles before it
+// is ingested.
+func NewestModTime(files []SpoolFile) time.Time {
+	var newest time.Time
+	for _, f := range files {
+		if f.ModTime.After(newest) {
+			newest = f.ModTime
+		}
+	}
+	return newest
+}
+
+// MarkDone renames an ingested spool file out of the pending set by
+// appending ".done".
+func MarkDone(path string) error {
+	if err := os.Rename(path, path+doneSuffix); err != nil {
+		return fmt.Errorf("live: mark spool file done: %w", err)
+	}
+	return nil
+}

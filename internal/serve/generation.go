@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/live"
+	"scholarrank/internal/rank"
+)
+
+// generation is one immutable ranked view of the corpus: the store,
+// the network built over it, the solved scores and every index the
+// handlers read. Requests load the current generation once and use it
+// throughout, so a concurrent swap can never mix two rankings within
+// one response. Everything reachable from a generation is read-only
+// after construction.
+type generation struct {
+	version     int64
+	source      string // "solve", "snapshot", "ingest" or "reload"
+	rankedAt    time.Time
+	fingerprint uint64
+
+	store  *corpus.Store
+	net    *hetnet.Network
+	scores *core.Scores
+	order  []int // article indices by descending importance
+	pos    []int // pos[article] = 1-based rank position
+
+	// Entity rankings derived from the article scores (shrunk mean).
+	authorScores []float64
+	venueScores  []float64
+
+	// Related-article index (bidirectional personalised walk).
+	related *rank.RelatedIndex
+	// Explainer answers /compare signal breakdowns in O(1).
+	explainer *core.Explainer
+}
+
+// newGeneration assembles the immutable serving view for one solved
+// ranking.
+func newGeneration(store *corpus.Store, net *hetnet.Network, scores *core.Scores,
+	version int64, source string, rankedAt time.Time) (*generation, error) {
+	order := rank.TopK(scores.Importance, store.NumArticles())
+	pos := make([]int, store.NumArticles())
+	for p, i := range order {
+		pos[i] = p + 1
+	}
+	authorScores, err := rank.AuthorRank(net, scores.Importance, rank.EntityRankOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: author ranking: %w", err)
+	}
+	venueScores, err := rank.VenueRank(net, scores.Importance, rank.EntityRankOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: venue ranking: %w", err)
+	}
+	related, err := rank.NewRelatedIndex(net, rank.RelatedOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: related index: %w", err)
+	}
+	return &generation{
+		version: version, source: source, rankedAt: rankedAt,
+		fingerprint: live.Fingerprint(store),
+		store:       store, net: net, scores: scores, order: order, pos: pos,
+		authorScores: authorScores, venueScores: venueScores,
+		related:   related,
+		explainer: core.NewExplainer(scores),
+	}, nil
+}
+
+func (g *generation) view(i int) ArticleView {
+	a := g.store.Article(corpus.ArticleID(i))
+	n := len(g.order)
+	pct := 1.0
+	if n > 1 {
+		pct = 1 - float64(g.pos[i]-1)/float64(n-1)
+	}
+	return ArticleView{
+		Key: a.Key, Title: a.Title, Year: a.Year, Rank: g.pos[i],
+		Importance: g.scores.Importance[i],
+		Prestige:   g.scores.Prestige[i],
+		Popularity: g.scores.Popularity[i],
+		Hetero:     g.scores.Hetero[i],
+		Percentile: pct,
+	}
+}
+
+// snapshot packages the generation as a persistable ranking snapshot.
+func (g *generation) snapshot() *live.Snapshot {
+	return live.Capture(g.store, g.scores, g.version, g.rankedAt.Unix())
+}
+
+// Generation mutation — the write side of the server. All rebuilds
+// run under s.mu; readers are never blocked, they keep loading the
+// old generation until the atomic pointer swap.
+
+// Ingest applies a JSONL delta batch to a clone of the current corpus,
+// re-solves the ranking warm-started from the current scores, and
+// atomically swaps the new generation in. An empty delta (everything
+// already known) swaps nothing and leaves the version unchanged.
+func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.gen.Load()
+	store := prev.store.Clone()
+	stats, err := live.ApplyDelta(store, r)
+	if err != nil {
+		return stats, err
+	}
+	if stats.Empty() {
+		return stats, nil
+	}
+	return stats, s.rebuildLocked(store, "ingest")
+}
+
+// Reload drains any pending spool deltas and re-solves the ranking
+// even when nothing changed — the operator's "refresh now" lever. It
+// reports the cumulative delta stats of the drained files.
+func (s *Server) Reload() (live.DeltaStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, store, err := s.drainSpoolLocked(0)
+	if err != nil {
+		return stats, err
+	}
+	if store == nil {
+		store = s.gen.Load().store
+	}
+	return stats, s.rebuildLocked(store, "reload")
+}
+
+// rebuildLocked re-ranks store and swaps the resulting generation in.
+// The solve is warm-started from the previous generation's raw score
+// vectors (extended to the grown corpus), and the network build reuses
+// the previous bipartite layers when the delta was citation-only.
+// Callers must hold s.mu.
+func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
+	prev := s.gen.Load()
+	net := hetnet.Grow(prev.net, store)
+	eng := core.NewEngine(net)
+	opts := s.cfg.Options
+	opts.InitialScores = core.FromScores(prev.scores, store.NumArticles())
+	scores, err := eng.Rank(opts)
+	if err != nil {
+		eng.Close()
+		return fmt.Errorf("serve: re-rank: %w", err)
+	}
+	gen, err := newGeneration(store, net, scores, prev.version+1, source, s.clock())
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	s.gen.Store(gen)
+	if s.engine != nil {
+		s.engine.Close()
+	}
+	s.engine = eng
+	return nil
+}
+
+// drainSpoolLocked folds every settled spool delta into a clone of
+// the current corpus. Each file is applied to a trial clone so a
+// malformed file cannot poison the batch: failures are renamed aside
+// (.err) and logged, clean files are renamed .done after the apply.
+// It returns a nil store when no file was ingested. A debounce of d
+// skips the drain while the newest file is younger than d (a producer
+// is still writing). Callers must hold s.mu.
+func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Store, error) {
+	var total live.DeltaStats
+	if s.cfg.SpoolDir == "" {
+		return total, nil, nil
+	}
+	files, err := live.PendingDeltas(s.cfg.SpoolDir)
+	if err != nil {
+		return total, nil, err
+	}
+	if len(files) == 0 {
+		return total, nil, nil
+	}
+	if d > 0 && s.clock().Sub(live.NewestModTime(files)) < d {
+		return total, nil, nil
+	}
+	acc := s.gen.Load().store.Clone()
+	ingested := false
+	for _, f := range files {
+		trial := acc.Clone()
+		stats, err := applyDeltaFile(trial, f.Path)
+		if err != nil {
+			log.Printf("serve: spool %s: %v", f.Path, err)
+			if rerr := os.Rename(f.Path, f.Path+".err"); rerr != nil {
+				log.Printf("serve: quarantine %s: %v", f.Path, rerr)
+			}
+			continue
+		}
+		acc = trial
+		ingested = true
+		total.NewArticles += stats.NewArticles
+		total.NewCitations += stats.NewCitations
+		total.DuplicateCitations += stats.DuplicateCitations
+		total.DroppedRefs += stats.DroppedRefs
+		if err := live.MarkDone(f.Path); err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}
+	if !ingested {
+		return total, nil, nil
+	}
+	return total, acc, nil
+}
+
+func applyDeltaFile(store *corpus.Store, path string) (live.DeltaStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return live.DeltaStats{}, err
+	}
+	defer f.Close()
+	return live.ApplyDelta(store, f)
+}
+
+// refreshLoop polls the spool directory until Close. Settled deltas
+// are ingested and swapped in as one new generation per sweep.
+func (s *Server) refreshLoop(interval, debounce time.Duration) {
+	defer close(s.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.refreshOnce(debounce)
+		}
+	}
+}
+
+// refreshOnce runs one spool sweep: drain settled files and, if any
+// were ingested, rebuild and swap.
+func (s *Server) refreshOnce(debounce time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, store, err := s.drainSpoolLocked(debounce)
+	if err != nil {
+		log.Printf("serve: refresh: %v", err)
+		return
+	}
+	if store == nil {
+		return
+	}
+	if err := s.rebuildLocked(store, "ingest"); err != nil {
+		log.Printf("serve: refresh: %v", err)
+		return
+	}
+	g := s.gen.Load()
+	log.Printf("serve: refreshed to generation %d (+%d articles, +%d citations)",
+		g.version, stats.NewArticles, stats.NewCitations)
+}
+
+// Close stops the background refresher and releases the solver worker
+// pool. The server keeps answering read requests from its last
+// generation after Close; only live updates stop.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+			<-s.done
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.engine != nil {
+			s.engine.Close()
+			s.engine = nil
+		}
+	})
+}

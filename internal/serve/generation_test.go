@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/live"
+)
+
+// liveFixture builds a ranked server and hands back the store so
+// tests can cross-check snapshots against it.
+func liveFixture(t *testing.T, cfg Config) (*corpus.Store, *Server) {
+	t.Helper()
+	s := corpus.NewStore()
+	au, _ := s.InternAuthor("au", "Author")
+	ids := make([]corpus.ArticleID, 0, 6)
+	for i, year := range []int{1998, 2002, 2006, 2010, 2012, 2014} {
+		id, err := s.AddArticle(corpus.ArticleMeta{
+			Key: string(rune('a' + i)), Title: "T", Year: year,
+			Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j += 2 {
+			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cfg.Options = core.DefaultOptions()
+	srv, err := NewWithConfig(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBody[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body, err)
+	}
+	return v
+}
+
+// TestIngestSwapsGeneration is the end-to-end acceptance path: a
+// running server receives a citation delta over /admin/ingest and the
+// served scores and version advance without a restart.
+func TestIngestSwapsGeneration(t *testing.T) {
+	_, srv := liveFixture(t, Config{})
+	h := srv.Handler()
+
+	before := decodeBody[ArticleView](t, get(t, h, "/article?key=a"))
+	health := decodeBody[map[string]any](t, get(t, h, "/healthz"))
+	if health["version"].(float64) != 1 || health["source"] != "solve" {
+		t.Fatalf("initial healthz = %v", health)
+	}
+
+	// Two new articles, both citing "a"; one also cites forward.
+	delta := `{"id":"n1","title":"New","year":2015,"venue":"icde","authors":["bob"],"refs":["a","n2"]}
+{"id":"n2","year":2016,"refs":["a","b"]}`
+	rec := post(t, h, "/admin/ingest", delta)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status = %d: %s", rec.Code, rec.Body)
+	}
+	resp := decodeBody[map[string]any](t, rec)
+	if resp["new_articles"].(float64) != 2 || resp["new_citations"].(float64) != 4 {
+		t.Errorf("ingest response = %v", resp)
+	}
+	if resp["version"].(float64) != 2 || rec.Header().Get("X-Ranking-Version") != "2" {
+		t.Errorf("ingest version = %v, header %q", resp["version"], rec.Header().Get("X-Ranking-Version"))
+	}
+
+	after := decodeBody[ArticleView](t, get(t, h, "/article?key=a"))
+	if after.Importance == before.Importance {
+		t.Error("importance of cited article unchanged after ingest")
+	}
+	if rec := get(t, h, "/article?key=n2"); rec.Code != http.StatusOK {
+		t.Errorf("new article not served: %d", rec.Code)
+	}
+	health = decodeBody[map[string]any](t, get(t, h, "/healthz"))
+	if health["version"].(float64) != 2 || health["source"] != "ingest" {
+		t.Errorf("healthz after ingest = %v", health)
+	}
+	stats := decodeBody[map[string]any](t, get(t, h, "/stats"))
+	if stats["articles"].(float64) != 8 || stats["version"].(float64) != 2 {
+		t.Errorf("stats after ingest = %v", stats)
+	}
+}
+
+func TestIngestNoopAndErrors(t *testing.T) {
+	_, srv := liveFixture(t, Config{})
+	h := srv.Handler()
+
+	// A delta that is already fully known must not swap generations.
+	rec := post(t, h, "/admin/ingest", `{"id":"b","refs":["a"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("noop ingest status = %d: %s", rec.Code, rec.Body)
+	}
+	resp := decodeBody[map[string]any](t, rec)
+	if resp["noop"] != true || resp["version"].(float64) != 1 {
+		t.Errorf("noop ingest = %v", resp)
+	}
+
+	// A malformed delta is rejected and leaves the generation alone.
+	if rec := post(t, h, "/admin/ingest", `{"year":2016}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ingest status = %d", rec.Code)
+	}
+	if srv.Version() != 1 {
+		t.Errorf("version = %d after rejected ingest", srv.Version())
+	}
+}
+
+func TestReloadForcesResolve(t *testing.T) {
+	_, srv := liveFixture(t, Config{})
+	rec := post(t, srv.Handler(), "/admin/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status = %d: %s", rec.Code, rec.Body)
+	}
+	if srv.Version() != 2 {
+		t.Errorf("version = %d after reload, want 2", srv.Version())
+	}
+	if g := srv.gen.Load(); g.source != "reload" {
+		t.Errorf("source = %q after reload", g.source)
+	}
+}
+
+// TestAdminSnapshotBootstrap downloads the served snapshot and boots
+// a second server from it — the replica warm-boot path.
+func TestAdminSnapshotBootstrap(t *testing.T) {
+	store, srv := liveFixture(t, Config{})
+	rec := get(t, srv.Handler(), "/admin/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status = %d", rec.Code)
+	}
+	snap, err := live.ReadSnapshot(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 1 || snap.Articles != store.NumArticles() {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+
+	replica, err := NewFromSnapshot(store.Clone(), snap, Config{Options: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(replica.Close)
+	a := decodeBody[ArticleView](t, get(t, srv.Handler(), "/article?key=a"))
+	b := decodeBody[ArticleView](t, get(t, replica.Handler(), "/article?key=a"))
+	if a.Importance != b.Importance || a.Rank != b.Rank {
+		t.Errorf("replica serves %+v, primary %+v", b, a)
+	}
+	health := decodeBody[map[string]any](t, get(t, replica.Handler(), "/healthz"))
+	if health["source"] != "snapshot" {
+		t.Errorf("replica healthz = %v", health)
+	}
+
+	// A replica can take live updates too: its engine starts lazily.
+	if _, err := replica.Ingest(strings.NewReader(`{"id":"r1","year":2016,"refs":["a"]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if replica.Version() != 2 {
+		t.Errorf("replica version = %d after ingest", replica.Version())
+	}
+}
+
+func TestNewFromSnapshotRejectsMismatch(t *testing.T) {
+	store, srv := liveFixture(t, Config{})
+	snap := srv.Snapshot()
+	drifted := store.Clone()
+	if _, err := drifted.AddArticle(corpus.ArticleMeta{Key: "x", Year: 2016, Venue: corpus.NoVenue}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromSnapshot(drifted, snap, Config{}); !errors.Is(err, live.ErrFingerprint) {
+		t.Errorf("mismatched corpus: err = %v, want ErrFingerprint", err)
+	}
+}
+
+// TestConcurrentHotSwap hammers the read endpoints from several
+// goroutines while generations swap underneath (run under -race).
+// Every response must be internally consistent: ranks contiguous,
+// importance non-increasing, and the version header well-formed — a
+// torn read mixing two generations would break those invariants.
+func TestConcurrentHotSwap(t *testing.T) {
+	_, srv := liveFixture(t, Config{})
+	h := srv.Handler()
+	const readers, swaps = 4, 6
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := get(t, h, "/top?k=5")
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("/top status %d", rec.Code)
+					return
+				}
+				if _, err := strconv.ParseInt(rec.Header().Get("X-Ranking-Version"), 10, 64); err != nil {
+					errc <- fmt.Errorf("bad version header: %v", err)
+					return
+				}
+				var top []ArticleView
+				if err := json.Unmarshal(rec.Body.Bytes(), &top); err != nil {
+					errc <- fmt.Errorf("/top decode: %v", err)
+					return
+				}
+				for p, v := range top {
+					if v.Rank != p+1 {
+						errc <- fmt.Errorf("rank %d at position %d", v.Rank, p)
+						return
+					}
+					if p > 0 && v.Importance > top[p-1].Importance {
+						errc <- fmt.Errorf("importance not monotone at %d", p)
+						return
+					}
+				}
+				if rec := get(t, h, "/article?key=a"); rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("/article status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < swaps; i++ {
+		delta := fmt.Sprintf(`{"id":"w%d","year":2016,"refs":["a","b"]}`, i)
+		if _, err := srv.Ingest(strings.NewReader(delta)); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := srv.Version(); got != swaps+1 {
+		t.Errorf("version = %d after %d swaps", got, swaps)
+	}
+}
+
+// TestSpoolRefresher drops delta files into a watched directory and
+// waits for the background refresher to ingest them, quarantining the
+// malformed one.
+func TestSpoolRefresher(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := liveFixture(t, Config{SpoolDir: dir, RefreshInterval: 2 * time.Millisecond})
+
+	writeSpool := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSpool("001.jsonl", `{"id":"s1","year":2015,"refs":["a"]}`)
+	writeSpool("002-bad.jsonl", `{"id":`)
+	writeSpool("003.jsonl", `{"id":"s2","year":2016,"refs":["s1"]}`)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Version() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Version() < 2 {
+		t.Fatal("refresher never swapped a generation")
+	}
+	g := srv.gen.Load()
+	if g.store.NumArticles() != 8 {
+		t.Errorf("articles = %d after spool ingest, want 8", g.store.NumArticles())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "001.jsonl.done")); err != nil {
+		t.Errorf("001 not marked done: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "002-bad.jsonl.err")); err != nil {
+		t.Errorf("bad file not quarantined: %v", err)
+	}
+	srv.Close() // stop the refresher before the spool dir is removed
+}
+
+// TestSpoolDebounce verifies a freshly written batch is held back
+// until it has been quiet for the debounce window.
+func TestSpoolDebounce(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	clock := now
+	_, srv := liveFixture(t, Config{SpoolDir: dir, Clock: func() time.Time { return clock }})
+	if err := os.WriteFile(filepath.Join(dir, "001.jsonl"),
+		[]byte(`{"id":"d1","year":2016,"refs":["a"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.mu.Lock()
+	_, store, err := srv.drainSpoolLocked(time.Hour)
+	srv.mu.Unlock()
+	if err != nil || store != nil {
+		t.Fatalf("young batch drained: store=%v err=%v", store, err)
+	}
+
+	clock = now.Add(2 * time.Hour)
+	srv.mu.Lock()
+	stats, store, err := srv.drainSpoolLocked(time.Hour)
+	srv.mu.Unlock()
+	if err != nil || store == nil {
+		t.Fatalf("settled batch not drained: err=%v", err)
+	}
+	if stats.NewArticles != 1 || store.NumArticles() != 7 {
+		t.Errorf("drain stats = %+v, articles = %d", stats, store.NumArticles())
+	}
+}

@@ -1,7 +1,15 @@
 // Package serve implements the HTTP ranking service behind the
-// sarserve command: query-independent scores computed once, offline,
-// and exposed as a static signal for a search stack to blend with
-// query relevance.
+// sarserve command: query-independent scores computed offline (or
+// refreshed live) and exposed as a static signal for a search stack
+// to blend with query relevance.
+//
+// The ranking is served as a sequence of immutable generations. Every
+// read handler loads the current generation once through an atomic
+// pointer and answers entirely from it, while delta ingestion
+// (/admin/ingest, or a watched spool directory) builds the next
+// generation off to the side — corpus clone, warm-started re-solve,
+// derived indexes — and swaps it in atomically. Readers are never
+// blocked and never observe a half-updated ranking.
 package serve
 
 import (
@@ -10,76 +18,162 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"scholarrank/internal/core"
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/hetnet"
+	"scholarrank/internal/live"
 	"scholarrank/internal/rank"
 )
 
 // maxTopK bounds the /top page size.
 const maxTopK = 1000
 
-// Server serves a ranked corpus. Build one with New; it is immutable
-// and safe for concurrent requests.
+// maxIngestBytes bounds one /admin/ingest delta body (64 MiB).
+const maxIngestBytes = 64 << 20
+
+// Config tunes a live ranking server beyond the core solver options.
+type Config struct {
+	// Options parameterises every (re-)solve.
+	Options core.Options
+	// SpoolDir, when set, is watched for JSONL delta files
+	// (*.jsonl); see the live package. Ingested files are renamed
+	// *.done, malformed ones *.err.
+	SpoolDir string
+	// RefreshInterval is the spool poll period. Zero disables the
+	// background refresher (deltas then only enter through
+	// /admin/ingest and /admin/reload).
+	RefreshInterval time.Duration
+	// Debounce holds a spool sweep back until the newest delta file
+	// has been quiet this long, so half-written batches settle before
+	// they are ingested. Zero ingests immediately.
+	Debounce time.Duration
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// Server serves a ranked corpus and keeps it fresh as deltas arrive.
+// Build one with New, NewWithConfig or NewFromSnapshot; it is safe
+// for concurrent requests, with writes (ingest, reload, refresher)
+// serialised internally.
 type Server struct {
-	store  *corpus.Store
-	net    *hetnet.Network
-	scores *core.Scores
-	order  []int // article indices by descending importance
-	pos    []int // pos[article] = 1-based rank position
+	cfg   Config
+	clock func() time.Time
 
-	// Entity rankings derived from the article scores (shrunk mean).
-	authorScores []float64
-	venueScores  []float64
+	// gen is the serving state: swapped atomically, never mutated.
+	gen atomic.Pointer[generation]
 
-	// Related-article index (bidirectional personalised walk).
-	related *rank.RelatedIndex
-	// Explainer answers /compare signal breakdowns in O(1).
-	explainer *core.Explainer
+	// mu serialises generation rebuilds; engine is the solver bound
+	// to the current generation's network, kept open so consecutive
+	// re-solves reuse its worker pool and cached operators.
+	mu     sync.Mutex
+	engine *core.Engine
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // New ranks the corpus and returns a ready Server.
 func New(store *corpus.Store, opts core.Options) (*Server, error) {
+	return NewWithConfig(store, Config{Options: opts})
+}
+
+// NewWithConfig ranks the corpus and returns a Server with live
+// updates configured. Callers must Close the server to release the
+// solver pool and stop the refresher.
+func NewWithConfig(store *corpus.Store, cfg Config) (*Server, error) {
+	s := newServerShell(cfg)
 	net := hetnet.Build(store)
-	scores, err := core.Rank(net, opts)
+	eng := core.NewEngine(net)
+	scores, err := eng.Rank(cfg.Options)
 	if err != nil {
+		eng.Close()
 		return nil, fmt.Errorf("serve: rank: %w", err)
 	}
-	return newServer(store, net, scores)
+	gen, err := newGeneration(store, net, scores, 1, "solve", s.clock())
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	s.gen.Store(gen)
+	s.engine = eng
+	s.startRefresher()
+	return s, nil
 }
 
 // NewFromScores wraps precomputed scores (for tests and for callers
 // that already ran the ranking).
 func NewFromScores(store *corpus.Store, scores *core.Scores) (*Server, error) {
-	return newServer(store, hetnet.Build(store), scores)
+	s := newServerShell(Config{})
+	gen, err := newGeneration(store, hetnet.Build(store), scores, 1, "solve", s.clock())
+	if err != nil {
+		return nil, err
+	}
+	s.gen.Store(gen)
+	return s, nil
 }
 
-func newServer(store *corpus.Store, net *hetnet.Network, scores *core.Scores) (*Server, error) {
-	order := rank.TopK(scores.Importance, store.NumArticles())
-	pos := make([]int, store.NumArticles())
-	for p, i := range order {
-		pos[i] = p + 1
+// NewFromSnapshot boots a server from a persisted ranking snapshot
+// without re-solving: the snapshot is verified against the corpus by
+// fingerprint, so a stale or mismatched snapshot fails loudly instead
+// of serving wrong scores. The solver engine is created lazily on the
+// first live update.
+func NewFromSnapshot(store *corpus.Store, snap *live.Snapshot, cfg Config) (*Server, error) {
+	if err := snap.Matches(store); err != nil {
+		return nil, err
 	}
-	authorScores, err := rank.AuthorRank(net, scores.Importance, rank.EntityRankOptions{})
+	s := newServerShell(cfg)
+	version := snap.Seq
+	if version < 1 {
+		version = 1
+	}
+	gen, err := newGeneration(store, hetnet.Build(store), snap.Scores(), version, "snapshot",
+		time.Unix(snap.CreatedUnix, 0))
 	if err != nil {
-		return nil, fmt.Errorf("serve: author ranking: %w", err)
+		return nil, err
 	}
-	venueScores, err := rank.VenueRank(net, scores.Importance, rank.EntityRankOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("serve: venue ranking: %w", err)
-	}
-	related, err := rank.NewRelatedIndex(net, rank.RelatedOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("serve: related index: %w", err)
-	}
-	return &Server{
-		store: store, net: net, scores: scores, order: order, pos: pos,
-		authorScores: authorScores, venueScores: venueScores,
-		related:   related,
-		explainer: core.NewExplainer(scores),
-	}, nil
+	s.gen.Store(gen)
+	s.startRefresher()
+	return s, nil
 }
+
+func newServerShell(cfg Config) *Server {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Server{cfg: cfg, clock: clock}
+}
+
+func (s *Server) startRefresher() {
+	if s.cfg.SpoolDir == "" || s.cfg.RefreshInterval <= 0 {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.refreshLoop(s.cfg.RefreshInterval, s.cfg.Debounce)
+}
+
+// current returns the serving generation and stamps its version on
+// the response, so clients (and the hot-swap tests) can correlate a
+// payload with the ranking that produced it.
+func (s *Server) current(w http.ResponseWriter) *generation {
+	g := s.gen.Load()
+	w.Header().Set("X-Ranking-Version", strconv.FormatInt(g.version, 10))
+	return g
+}
+
+// Version returns the current generation number; it increments on
+// every successful ingest or reload.
+func (s *Server) Version() int64 { return s.gen.Load().version }
+
+// Snapshot packages the current generation as a persistable ranking
+// snapshot.
+func (s *Server) Snapshot() *live.Snapshot { return s.gen.Load().snapshot() }
 
 // ArticleView is the JSON shape of one ranked article.
 type ArticleView struct {
@@ -94,29 +188,10 @@ type ArticleView struct {
 	Percentile float64 `json:"percentile"`
 }
 
-func (s *Server) view(i int) ArticleView {
-	a := s.store.Article(corpus.ArticleID(i))
-	n := len(s.order)
-	pct := 1.0
-	if n > 1 {
-		pct = 1 - float64(s.pos[i]-1)/float64(n-1)
-	}
-	return ArticleView{
-		Key: a.Key, Title: a.Title, Year: a.Year, Rank: s.pos[i],
-		Importance: s.scores.Importance[i],
-		Prestige:   s.scores.Prestige[i],
-		Popularity: s.scores.Popularity[i],
-		Hetero:     s.scores.Hetero[i],
-		Percentile: pct,
-	}
-}
-
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /top", s.handleTop)
 	mux.HandleFunc("GET /article", s.handleArticle)
@@ -124,34 +199,103 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /authors", s.handleAuthors)
 	mux.HandleFunc("GET /venues", s.handleVenues)
 	mux.HandleFunc("GET /related", s.handleRelated)
+	mux.HandleFunc("POST /admin/ingest", s.handleIngest)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("GET /admin/snapshot", s.handleSnapshot)
 	return mux
+}
+
+// handleHealthz reports liveness plus the freshness of the ranking:
+// which generation is serving, when it was solved, and how stale it
+// is — what a fleet scheduler scrapes to decide if an instance fell
+// behind the corpus.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	g := s.current(w)
+	writeJSON(w, map[string]any{
+		"status":            "ok",
+		"version":           g.version,
+		"source":            g.source,
+		"ranked_at":         g.rankedAt.UTC().Format(time.RFC3339),
+		"staleness_seconds": int64(s.clock().Sub(g.rankedAt).Seconds()),
+	})
+}
+
+// handleIngest accepts a JSONL delta batch, folds it into the corpus
+// and swaps in the re-ranked generation before responding.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.Ingest(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	g := s.current(w)
+	writeJSON(w, map[string]any{
+		"version":             g.version,
+		"articles":            g.store.NumArticles(),
+		"citations":           g.store.NumCitations(),
+		"new_articles":        stats.NewArticles,
+		"new_citations":       stats.NewCitations,
+		"duplicate_citations": stats.DuplicateCitations,
+		"dropped_refs":        stats.DroppedRefs,
+		"noop":                stats.Empty(),
+	})
+}
+
+// handleReload drains the spool and forces a re-solve.
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	stats, err := s.Reload()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	g := s.current(w)
+	writeJSON(w, map[string]any{
+		"version":       g.version,
+		"articles":      g.store.NumArticles(),
+		"citations":     g.store.NumCitations(),
+		"new_articles":  stats.NewArticles,
+		"new_citations": stats.NewCitations,
+	})
+}
+
+// handleSnapshot streams the current ranking as a checksummed binary
+// snapshot — the artifact a fresh replica boots from with -scores.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	g := s.current(w)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=ranking-v%d.snap", g.version))
+	if err := live.WriteSnapshot(w, g.snapshot()); err != nil {
+		log.Printf("serve: write snapshot: %v", err)
+	}
 }
 
 // handleRelated returns the articles most related to a seed article:
 // the "readers of this paper also need" endpoint.
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	g := s.current(w)
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
 		return
 	}
-	id, ok := s.store.ArticleByKey(key)
+	id, ok := g.store.ArticleByKey(key)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown article %q", key)
 		return
 	}
-	k, ok := parseK(w, r, s.store.NumArticles())
+	k, ok := parseK(w, r, g.store.NumArticles())
 	if !ok {
 		return
 	}
-	related, err := s.related.Related(id, k)
+	related, err := g.related.Related(id, k)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "related: %v", err)
 		return
 	}
 	out := make([]ArticleView, 0, len(related))
 	for _, i := range related {
-		out = append(out, s.view(i))
+		out = append(out, g.view(i))
 	}
 	writeJSON(w, out)
 }
@@ -166,34 +310,36 @@ type EntityView struct {
 }
 
 func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
-	k, ok := parseK(w, r, len(s.authorScores))
+	g := s.current(w)
+	k, ok := parseK(w, r, len(g.authorScores))
 	if !ok {
 		return
 	}
 	out := make([]EntityView, 0, k)
-	for pos, i := range rank.TopK(s.authorScores, k) {
-		a := s.store.Author(corpus.AuthorID(i))
+	for pos, i := range rank.TopK(g.authorScores, k) {
+		a := g.store.Author(corpus.AuthorID(i))
 		out = append(out, EntityView{
 			Key: a.Key, Name: a.Name, Rank: pos + 1,
-			Score:    s.authorScores[i],
-			Articles: len(s.net.AuthorArticles(corpus.AuthorID(i))),
+			Score:    g.authorScores[i],
+			Articles: len(g.net.AuthorArticles(corpus.AuthorID(i))),
 		})
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
-	k, ok := parseK(w, r, len(s.venueScores))
+	g := s.current(w)
+	k, ok := parseK(w, r, len(g.venueScores))
 	if !ok {
 		return
 	}
 	out := make([]EntityView, 0, k)
-	for pos, i := range rank.TopK(s.venueScores, k) {
-		v := s.store.Venue(corpus.VenueID(i))
+	for pos, i := range rank.TopK(g.venueScores, k) {
+		v := g.store.Venue(corpus.VenueID(i))
 		out = append(out, EntityView{
 			Key: v.Key, Name: v.Name, Rank: pos + 1,
-			Score:    s.venueScores[i],
-			Articles: len(s.net.VenueArticles(corpus.VenueID(i))),
+			Score:    g.venueScores[i],
+			Articles: len(g.net.VenueArticles(corpus.VenueID(i))),
 		})
 	}
 	writeJSON(w, out)
@@ -217,58 +363,61 @@ func parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	k, ok := parseK(w, r, len(s.order))
+	g := s.current(w)
+	k, ok := parseK(w, r, len(g.order))
 	if !ok {
 		return
 	}
 	out := make([]ArticleView, 0, k)
-	for _, i := range s.order[:k] {
-		out = append(out, s.view(i))
+	for _, i := range g.order[:k] {
+		out = append(out, g.view(i))
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
+	g := s.current(w)
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
 		return
 	}
-	id, ok := s.store.ArticleByKey(key)
+	id, ok := g.store.ArticleByKey(key)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown article %q", key)
 		return
 	}
-	writeJSON(w, s.view(int(id)))
+	writeJSON(w, g.view(int(id)))
 }
 
 // handleCompare reports the relative order of two articles with their
 // full signal breakdown — the "why is X above Y" debugging endpoint.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	g := s.current(w)
 	q := r.URL.Query()
 	ka, kb := q.Get("a"), q.Get("b")
 	if ka == "" || kb == "" {
 		httpError(w, http.StatusBadRequest, "need a and b parameters")
 		return
 	}
-	ia, ok := s.store.ArticleByKey(ka)
+	ia, ok := g.store.ArticleByKey(ka)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown article %q", ka)
 		return
 	}
-	ib, ok := s.store.ArticleByKey(kb)
+	ib, ok := g.store.ArticleByKey(kb)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown article %q", kb)
 		return
 	}
-	va, vb := s.view(int(ia)), s.view(int(ib))
+	va, vb := g.view(int(ia)), g.view(int(ib))
 	winner := va.Key
 	if vb.Rank < va.Rank {
 		winner = vb.Key
 	}
 	resp := map[string]any{"a": va, "b": vb, "winner": winner}
 	if ia != ib {
-		ex, err := s.explainer.Explain(int(ia), int(ib))
+		ex, err := g.explainer.Explain(int(ia), int(ib))
 		if err == nil {
 			resp["dominant_signal"] = ex.Dominant
 			resp["signal_deltas"] = ex.Signals
@@ -278,7 +427,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	imp := s.scores.Importance
+	g := s.current(w)
+	imp := g.scores.Importance
 	var nonZero int
 	for _, v := range imp {
 		if v > 0 {
@@ -286,16 +436,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{
-		"articles":            s.store.NumArticles(),
-		"citations":           s.store.NumCitations(),
-		"authors":             s.store.NumAuthors(),
-		"venues":              s.store.NumVenues(),
+		"articles":            g.store.NumArticles(),
+		"citations":           g.store.NumCitations(),
+		"authors":             g.store.NumAuthors(),
+		"venues":              g.store.NumVenues(),
 		"nonzero_importance":  nonZero,
-		"prestige_iters":      s.scores.PrestigeStats.Iterations,
-		"hetero_iters":        s.scores.HeteroStats.Iterations,
-		"prestige_converged":  s.scores.PrestigeStats.Converged,
-		"hetero_converged":    s.scores.HeteroStats.Converged,
-		"importance_top_mean": topMean(imp, s.order, 100),
+		"prestige_iters":      g.scores.PrestigeStats.Iterations,
+		"hetero_iters":        g.scores.HeteroStats.Iterations,
+		"prestige_converged":  g.scores.PrestigeStats.Converged,
+		"hetero_converged":    g.scores.HeteroStats.Converged,
+		"importance_top_mean": topMean(imp, g.order, 100),
+		"version":             g.version,
+		"source":              g.source,
+		"corpus_fingerprint":  fmt.Sprintf("%016x", g.fingerprint),
+		"ranked_at":           g.rankedAt.UTC().Format(time.RFC3339),
+		"staleness_seconds":   int64(s.clock().Sub(g.rankedAt).Seconds()),
 	})
 }
 
@@ -328,9 +483,10 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // Percentile exposes the rank percentile of an article key, used by
 // library callers embedding the server.
 func (s *Server) Percentile(key string) (float64, bool) {
-	id, ok := s.store.ArticleByKey(key)
+	g := s.gen.Load()
+	id, ok := g.store.ArticleByKey(key)
 	if !ok {
 		return 0, false
 	}
-	return s.view(int(id)).Percentile, true
+	return g.view(int(id)).Percentile, true
 }

@@ -339,3 +339,22 @@ func TestQuickMassConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestResized(t *testing.T) {
+	x := []float64{1, 2, 3}
+	grown := Resized(x, 5)
+	if len(grown) != 5 || grown[0] != 1 || grown[2] != 3 || grown[3] != 0 || grown[4] != 0 {
+		t.Errorf("Resized grow = %v", grown)
+	}
+	shrunk := Resized(x, 2)
+	if len(shrunk) != 2 || shrunk[0] != 1 || shrunk[1] != 2 {
+		t.Errorf("Resized shrink = %v", shrunk)
+	}
+	grown[0] = 99
+	if x[0] != 1 {
+		t.Error("Resized aliases its input")
+	}
+	if got := Resized(nil, 2); len(got) != 2 || got[0] != 0 {
+		t.Errorf("Resized(nil) = %v", got)
+	}
+}

@@ -190,3 +190,14 @@ func Clone(x []float64) []float64 {
 	copy(out, x)
 	return out
 }
+
+// Resized returns a length-n copy of x, truncated or zero-padded as
+// needed. It is the warm-start adapter for growing systems: a score
+// vector solved on an m-article corpus extends to an n-article corpus
+// (n > m) with the new tail at zero, which a fixed-point solver then
+// fills in from a near-converged starting point.
+func Resized(x []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
