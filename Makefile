@@ -1,13 +1,23 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-quick bench
+.PHONY: check vet lint build test test-race bench-quick bench
 
-## check: everything CI runs — vet, build, race-detector tests on the
-## parallel packages, then the full test suite.
-check: vet build test-race test
+## check: everything CI runs — vet, lint, build, race-detector tests on
+## the parallel packages, then the full test suite.
+check: vet lint build test-race test
 
 vet:
 	$(GO) vet ./...
+
+## lint: style gates with no external tooling. All logging goes through
+## the component loggers in internal/obs, so a bare log.Printf anywhere
+## else is a regression.
+lint:
+	@bad=$$(grep -rn 'log\.Printf' --include='*.go' . | grep -v '^\./internal/obs/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: log.Printf outside internal/obs (use obs.Logger):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -18,7 +28,7 @@ test:
 ## test-race: the packages that exercise the worker pool, fused
 ## kernels and the hot-swap serving path, under the race detector.
 test-race:
-	$(GO) test -race ./internal/sparse/... ./internal/core/... ./internal/hetnet/... ./internal/live/... ./internal/serve/...
+	$(GO) test -race ./internal/sparse/... ./internal/core/... ./internal/hetnet/... ./internal/live/... ./internal/serve/... ./internal/obs/...
 
 ## bench-quick: the headline solver benchmark on the shrunken corpus
 ## (seconds; EXPERIMENTS.md §F6 records the reference numbers).

@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
 		entities = fs.Bool("entities", false, "also print top authors and venues (derived from article scores)")
 		save     = fs.String("save-scores", "", "write the QISA ranking as a snapshot file for sarserve -scores")
+		trace    = fs.Bool("trace", false, "print per-iteration solver residuals for the prestige and hetero phases (QISA-Rank only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *save != "" && !strings.EqualFold(*algo, "QISA-Rank") {
 		return fmt.Errorf("-save-scores persists the full signal breakdown and needs -algo QISA-Rank, not %q", *algo)
 	}
+	if *trace && !strings.EqualFold(*algo, "QISA-Rank") {
+		return fmt.Errorf("-trace hooks the QISA solver loops and needs -algo QISA-Rank, not %q", *algo)
+	}
 
 	store, err := cliutil.LoadCorpus(*in, *format)
 	if err != nil {
@@ -74,8 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",
 		store.NumArticles(), store.NumCitations(), store.NumAuthors(), store.NumVenues())
 
-	if *save != "" {
-		return rankAndSave(stdout, stderr, store, net, *workers, *k, *entities, *save)
+	if *save != "" || *trace {
+		return runQISA(stdout, stderr, store, net, *workers, *k, *entities, *save, *trace)
 	}
 
 	var methods []experiments.Method
@@ -126,18 +130,27 @@ func printTop(w io.Writer, store *corpus.Store, scores []float64, k int) error {
 	return tw.Flush()
 }
 
-// rankAndSave runs the full QISA ranking (all signal components, not
-// just the blended score) and persists it as a serving snapshot.
-func rankAndSave(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
-	workers, k int, entities bool, path string) error {
+// runQISA runs the full QISA ranking (all signal components, not just
+// the blended score), optionally streaming per-iteration solver
+// residuals and optionally persisting the result as a serving
+// snapshot.
+func runQISA(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
+	workers, k int, entities bool, savePath string, trace bool) error {
 	opts := core.DefaultOptions()
 	opts.Workers = workers
+	if trace {
+		opts.Trace = func(ev core.TraceEvent) {
+			fmt.Fprintf(stderr, "trace %-8s iter=%-3d residual=%.3e elapsed=%s\n",
+				ev.Phase, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
+		}
+	}
 	sc, err := core.Rank(net, opts)
 	if err != nil {
 		return fmt.Errorf("QISA-Rank: %w", err)
 	}
-	fmt.Fprintf(stdout, "\n# QISA-Rank (%d iterations, residual %.2e)\n",
-		sc.PrestigeStats.Iterations, sc.PrestigeStats.Residual)
+	fmt.Fprintf(stdout, "\n# QISA-Rank (prestige: %d iterations, residual %.2e, %s; hetero: %d iterations, residual %.2e, %s)\n",
+		sc.PrestigeStats.Iterations, sc.PrestigeStats.Residual, sc.PrestigeStats.Elapsed.Round(time.Microsecond),
+		sc.HeteroStats.Iterations, sc.HeteroStats.Residual, sc.HeteroStats.Elapsed.Round(time.Microsecond))
 	if err := printTop(stdout, store, sc.Importance, k); err != nil {
 		return err
 	}
@@ -146,12 +159,15 @@ func rankAndSave(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Netw
 			return err
 		}
 	}
+	if savePath == "" {
+		return nil
+	}
 	snap := live.Capture(store, sc, 1, time.Now().Unix())
-	if err := live.WriteSnapshotFile(path, snap); err != nil {
+	if err := live.WriteSnapshotFile(savePath, snap); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote ranking snapshot %s (%d articles, fingerprint %016x)\n",
-		path, snap.Articles, snap.Fingerprint)
+		savePath, snap.Articles, snap.Fingerprint)
 	return nil
 }
 

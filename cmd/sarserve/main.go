@@ -8,7 +8,10 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness + ranking version/staleness
-//	GET  /stats                   corpus + ranking metadata
+//	GET  /stats                   corpus + ranking metadata, solver timings
+//	GET  /metrics                 Prometheus text exposition (latency
+//	                              histograms, swap/ingest counters,
+//	                              solver convergence gauges)
 //	GET  /top?k=20                top-k articles by importance
 //	GET  /article?key=p00000001   one article with its score components
 //	GET  /compare?a=KEY&b=KEY     relative order of two articles, with
@@ -19,19 +22,25 @@
 //	POST /admin/ingest            apply a JSONL delta and re-rank
 //	POST /admin/reload            drain the spool and force a re-solve
 //	GET  /admin/snapshot          download the current ranking snapshot
+//	GET  /debug/pprof/            profiling (only with -pprof)
+//
+// Every response carries an X-Request-ID header (generated when the
+// client sends none) that also appears in the per-request log lines.
 //
 // Usage:
 //
 //	sarserve -in corpus.jsonl -addr :8080
 //	sarserve -in corpus.jsonl -scores ranking.snap        # boot without solving
 //	sarserve -in corpus.jsonl -spool deltas/ -refresh 30s # live updates
+//	sarserve -in corpus.jsonl -pprof -log-format json
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +50,7 @@ import (
 	"scholarrank/internal/cliutil"
 	"scholarrank/internal/core"
 	"scholarrank/internal/live"
+	"scholarrank/internal/obs"
 	"scholarrank/internal/serve"
 )
 
@@ -49,28 +59,42 @@ import (
 const shutdownGrace = 10 * time.Second
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sarserve: ")
-
 	var (
-		in       = flag.String("in", "", "corpus file (jsonl or tsv); required")
-		format   = flag.String("format", "", "corpus format override")
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
-		scores   = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
-		spool    = flag.String("spool", "", "directory watched for JSONL delta files")
-		refresh  = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
-		debounce = flag.Duration("debounce", 2*time.Second, "quiet period before a spool batch is ingested")
+		in        = flag.String("in", "", "corpus file (jsonl or tsv); required")
+		format    = flag.String("format", "", "corpus format override")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		scores    = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
+		spool     = flag.String("spool", "", "directory watched for JSONL delta files")
+		refresh   = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
+		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period before a spool batch is ingested")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		reqLog    = flag.Bool("request-log", true, "log one structured line per request")
 	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	obs.InitLogging(os.Stderr, level, *logFormat)
+	logger := obs.Logger("sarserve")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *in == "" {
 		flag.Usage()
-		log.Fatal("missing -in")
+		fatal("missing -in")
 	}
 
 	store, err := cliutil.LoadCorpus(*in, *format)
 	if err != nil {
-		log.Fatal(err)
+		fatal("load corpus", "file", *in, "error", err)
 	}
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
@@ -79,6 +103,8 @@ func main() {
 		SpoolDir:        *spool,
 		RefreshInterval: *refresh,
 		Debounce:        *debounce,
+		RequestLog:      *reqLog,
+		EnablePprof:     *pprofFlag,
 	}
 
 	start := time.Now()
@@ -86,22 +112,24 @@ func main() {
 	if *scores != "" {
 		snap, err := live.ReadSnapshotFile(*scores)
 		if err != nil {
-			log.Fatal(err)
+			fatal("read snapshot", "file", *scores, "error", err)
 		}
 		if srv, err = serve.NewFromSnapshot(store, snap, cfg); err != nil {
-			log.Fatal(err)
+			fatal("boot from snapshot", "file", *scores, "error", err)
 		}
-		log.Printf("booted from snapshot %s (generation %d, %d articles) in %v",
-			*scores, srv.Version(), store.NumArticles(), time.Since(start).Round(time.Millisecond))
+		logger.Info("booted from snapshot",
+			"file", *scores, "version", srv.Version(),
+			"articles", store.NumArticles(),
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	} else {
-		log.Printf("ranking %d articles...", store.NumArticles())
+		logger.Info("ranking corpus", "articles", store.NumArticles())
 		if srv, err = serve.NewWithConfig(store, cfg); err != nil {
-			log.Fatal(err)
+			fatal("rank corpus", "error", err)
 		}
-		log.Printf("ranked in %v", time.Since(start).Round(time.Millisecond))
+		logger.Info("ranked", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 	if *spool != "" {
-		log.Printf("watching spool %s every %v", *spool, *refresh)
+		logger.Info("watching spool", "spool", *spool, "interval", refresh.String())
 	}
 
 	httpSrv := &http.Server{
@@ -111,23 +139,38 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", "addr", *addr, "metrics", "/metrics", "pprof", *pprofFlag)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal("listen", "addr", *addr, "error", err)
 	case <-ctx.Done():
 		stop()
-		log.Print("signal received, draining...")
+		logger.Info("signal received, draining")
 	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	srv.Close()
-	log.Print("stopped")
+	logger.Info("stopped")
+}
+
+// parseLevel maps a -log-level value to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("sarserve: unknown -log-level %q (want debug, info, warn or error)", s)
 }

@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"log"
 	"os"
 
@@ -75,5 +76,5 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("exported %d docs (of %d articles)", len(out.Docs), out.Articles)
+	fmt.Fprintf(os.Stderr, "servingapi: exported %d docs (of %d articles)\n", len(out.Docs), out.Articles)
 }

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/sparse"
@@ -134,6 +135,13 @@ type Options struct {
 	// Iter controls convergence of both iterative stages.
 	Iter sparse.IterOptions
 
+	// Trace, when set, receives one event per solver iteration from
+	// both iterative stages (phase, iteration number, residual, wall
+	// time) — the hook behind `sarank -trace`, the serving /stats
+	// surface and convergence experiments. It is called synchronously
+	// on the solver goroutine; keep it cheap.
+	Trace func(TraceEvent)
+
 	// InitialScores optionally seeds the iterative stages from a
 	// previous solution — the warm-start path of live corpus updates,
 	// where a delta grows the corpus slightly and the previous score
@@ -230,6 +238,48 @@ func (o Options) validate() error {
 	return nil
 }
 
+// Solver phase names, as reported in TraceEvent.Phase.
+const (
+	// PhasePrestige is the gap-weighted, recency-personalised
+	// PageRank stage.
+	PhasePrestige = "prestige"
+	// PhaseHetero is the coupled article–author–venue walk stage.
+	PhaseHetero = "hetero"
+)
+
+// TraceEvent describes one completed iteration of an iterative solver
+// stage. Residuals are L1 changes; within one phase they approach the
+// tolerance as the walk contracts toward its fixed point.
+type TraceEvent struct {
+	// Phase is PhasePrestige or PhaseHetero.
+	Phase string
+	// Iteration is 1-based within the phase.
+	Iteration int
+	// Residual is the L1 change the iteration produced.
+	Residual float64
+	// Elapsed is the wall time of the single iteration.
+	Elapsed time.Duration
+}
+
+// iterFor returns the iteration options for one phase, binding the
+// Trace hook (if any) to the phase name. A hook installed directly on
+// Iter.OnIteration is preserved when Trace is unset.
+func (o Options) iterFor(phase string) sparse.IterOptions {
+	it := o.Iter
+	if o.Trace != nil {
+		trace := o.Trace
+		it.OnIteration = func(ev sparse.IterEvent) {
+			trace(TraceEvent{
+				Phase:     phase,
+				Iteration: ev.Iteration,
+				Residual:  ev.Residual,
+				Elapsed:   ev.Elapsed,
+			})
+		}
+	}
+	return it
+}
+
 // InitialScores carries previous-solution vectors used to warm-start
 // the two iterative stages. Prestige should be the raw walk result
 // (Scores.RawPrestige) — the faded vector is age-reweighted away from
@@ -275,10 +325,13 @@ type Scores struct {
 	// RhoFade age decay — the vector to warm-start a future solve
 	// from (see InitialScores). With RhoFade = 0 it equals Prestige.
 	RawPrestige []float64
-	// PrestigeStats and HeteroStats report convergence of the two
-	// iterative stages.
+	// PrestigeStats and HeteroStats report convergence and wall time
+	// of the two iterative stages.
 	PrestigeStats sparse.IterStats
 	HeteroStats   sparse.IterStats
+	// Pool summarises the solver worker pool's occupancy over the
+	// engine's lifetime (parallelism, kernel sweeps, chunk tasks).
+	Pool sparse.PoolStats
 }
 
 // Rank computes QISA-Rank over the network. Callers ranking the same

@@ -200,5 +200,6 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 		RawPrestige:   rawPrestige,
 		PrestigeStats: pStats,
 		HeteroStats:   hStats,
+		Pool:          pool.Stats(),
 	}, nil
 }

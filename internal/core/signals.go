@@ -28,7 +28,7 @@ func computePrestige(net *hetnet.Network, opts Options, gapTrans *sparse.Transit
 	if init == nil {
 		init = teleport
 	}
-	scores, stats, err := sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, opts.Iter)
+	scores, stats, err := sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, opts.iterFor(PhasePrestige))
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: prestige: %w", err)
 	}
@@ -211,7 +211,7 @@ func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, pool
 		dm = dangNext * inv
 		return res
 	}
-	scores, stats, err := sparse.FixedPointResidual(init, step, opts.Iter)
+	scores, stats, err := sparse.FixedPointResidual(init, step, opts.iterFor(PhaseHetero))
 	if err != nil {
 		return nil, sparse.IterStats{}, err
 	}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+// quickstartNetwork mirrors examples/quickstart: a miniature
+// literature of five articles across two authors and one venue.
+func quickstartNetwork(t *testing.T) *hetnet.Network {
+	t.Helper()
+	s := corpus.NewStore()
+	hopper, _ := s.InternAuthor("hopper", "G. Hopper")
+	lovelace, _ := s.InternAuthor("lovelace", "A. Lovelace")
+	icde, _ := s.InternVenue("icde", "ICDE")
+	add := func(key string, year int, venue corpus.VenueID, authors ...corpus.AuthorID) corpus.ArticleID {
+		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: year, Venue: venue, Authors: authors})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	found := add("found98", 1998, icde, hopper)
+	walk := add("walk04", 2004, icde, hopper, lovelace)
+	time06 := add("time06", 2006, corpus.NoVenue, lovelace)
+	survey := add("survey15", 2015, icde, lovelace)
+	add("fresh17", 2017, icde, hopper)
+	for _, c := range [][2]corpus.ArticleID{
+		{walk, found}, {time06, found}, {time06, walk}, {survey, found},
+	} {
+		if err := s.AddCitation(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hetnet.Build(s)
+}
+
+// TestTraceHook runs QISA-Rank on the quickstart corpus with the
+// Trace hook installed and checks the event stream: both phases
+// report, iterations are sequential, residuals are monotonically
+// non-increasing within each phase (both stages are strict
+// contractions), and each phase's final residual matches the stats.
+func TestTraceHook(t *testing.T) {
+	net := quickstartNetwork(t)
+	var events []TraceEvent
+	opts := DefaultOptions()
+	opts.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	sc, err := Rank(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase := map[string][]TraceEvent{}
+	for _, ev := range events {
+		byPhase[ev.Phase] = append(byPhase[ev.Phase], ev)
+	}
+	if len(byPhase) != 2 {
+		t.Fatalf("phases traced = %v, want prestige and hetero", len(byPhase))
+	}
+	finals := map[string]float64{
+		PhasePrestige: sc.PrestigeStats.Residual,
+		PhaseHetero:   sc.HeteroStats.Residual,
+	}
+	iters := map[string]int{
+		PhasePrestige: sc.PrestigeStats.Iterations,
+		PhaseHetero:   sc.HeteroStats.Iterations,
+	}
+	for phase, evs := range byPhase {
+		if len(evs) == 0 {
+			t.Fatalf("no events for phase %s", phase)
+		}
+		if len(evs) != iters[phase] {
+			t.Errorf("%s: %d events for %d iterations", phase, len(evs), iters[phase])
+		}
+		for i, ev := range evs {
+			if ev.Iteration != i+1 {
+				t.Errorf("%s: event %d has iteration %d", phase, i, ev.Iteration)
+			}
+			// Strict contractions shrink the residual every step;
+			// allow a hair of floating-point slack.
+			if i > 0 && ev.Residual > evs[i-1].Residual*(1+1e-9) {
+				t.Errorf("%s: residual increased at iteration %d: %v > %v",
+					phase, ev.Iteration, ev.Residual, evs[i-1].Residual)
+			}
+		}
+		last := evs[len(evs)-1]
+		if last.Residual != finals[phase] {
+			t.Errorf("%s: final event residual %v != stats residual %v",
+				phase, last.Residual, finals[phase])
+		}
+		if first := evs[0].Residual; last.Residual > first {
+			t.Errorf("%s: final residual %v above first %v", phase, last.Residual, first)
+		}
+	}
+	if sc.Pool.Workers < 1 {
+		t.Errorf("pool stats workers = %d", sc.Pool.Workers)
+	}
+	if sc.PrestigeStats.Elapsed <= 0 || sc.HeteroStats.Elapsed <= 0 {
+		t.Errorf("phase wall times not recorded: %v / %v",
+			sc.PrestigeStats.Elapsed, sc.HeteroStats.Elapsed)
+	}
+}
+
+// TestTracePreservesDirectHook checks that a hook installed straight
+// on Iter.OnIteration still fires when Options.Trace is unset.
+func TestTracePreservesDirectHook(t *testing.T) {
+	net := quickstartNetwork(t)
+	opts := DefaultOptions()
+	fired := 0
+	opts.Iter.OnIteration = func(sparse.IterEvent) { fired++ }
+	if _, err := Rank(net, opts); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Error("direct Iter.OnIteration hook never fired")
+	}
+}

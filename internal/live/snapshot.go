@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"scholarrank/internal/core"
 	"scholarrank/internal/corpus"
@@ -43,10 +44,14 @@ import (
 //	seq createdUnix fingerprint(8B) articles citations
 //	n  importance[n] prestige[n] popularity[n] hetero[n]
 //	   rawPrestige[n] percentile[n]
-//	prestigeStats heteroStats   (each: iterations residual(8B) converged)
+//	prestigeStats heteroStats   (each: iterations residual(8B) converged
+//	                             [v2+: elapsedNanos])
+//
+// Version 2 added the per-phase solver wall time to the stats blocks;
+// version-1 snapshots are still readable (elapsed decodes as zero).
 const (
 	snapshotMagic   = "SRNKS"
-	snapshotVersion = 1
+	snapshotVersion = 2
 	// maxSnapshotLen caps decoded vector lengths, protecting the
 	// reader from corrupt or hostile length prefixes.
 	maxSnapshotLen = 1 << 31
@@ -229,7 +234,7 @@ func (cw *crcWriter) vector(v []float64) error {
 	return nil
 }
 
-func (cw *crcWriter) stats(st sparse.IterStats) error {
+func (cw *crcWriter) stats(st sparse.IterStats, version byte) error {
 	if err := cw.uvarint(uint64(st.Iterations)); err != nil {
 		return err
 	}
@@ -240,13 +245,24 @@ func (cw *crcWriter) stats(st sparse.IterStats) error {
 	if st.Converged {
 		b = 1
 	}
-	_, err := cw.Write([]byte{b})
-	return err
+	if _, err := cw.Write([]byte{b}); err != nil {
+		return err
+	}
+	if version >= 2 {
+		return cw.uvarint(uint64(st.Elapsed))
+	}
+	return nil
 }
 
 // WriteSnapshot writes the snapshot to w in the checksummed binary
-// format.
+// format (current version).
 func WriteSnapshot(w io.Writer, sn *Snapshot) error {
+	return writeSnapshotVersion(w, sn, snapshotVersion)
+}
+
+// writeSnapshotVersion writes the snapshot in a specific format
+// version; the compatibility tests use it to produce old encodings.
+func writeSnapshotVersion(w io.Writer, sn *Snapshot, version byte) error {
 	n := len(sn.Importance)
 	for _, v := range [][]float64{sn.Prestige, sn.Popularity, sn.Hetero, sn.RawPrestige, sn.Percentile} {
 		if len(v) != n {
@@ -257,7 +273,7 @@ func WriteSnapshot(w io.Writer, sn *Snapshot) error {
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("live: write snapshot: %w", err)
 	}
-	if err := bw.WriteByte(snapshotVersion); err != nil {
+	if err := bw.WriteByte(version); err != nil {
 		return fmt.Errorf("live: write snapshot: %w", err)
 	}
 	cw := &crcWriter{w: bw}
@@ -287,10 +303,10 @@ func WriteSnapshot(w io.Writer, sn *Snapshot) error {
 				return err
 			}
 		}
-		if err := cw.stats(sn.PrestigeStats); err != nil {
+		if err := cw.stats(sn.PrestigeStats, version); err != nil {
 			return err
 		}
-		return cw.stats(sn.HeteroStats)
+		return cw.stats(sn.HeteroStats, version)
 	}()
 	if err != nil {
 		return fmt.Errorf("live: write snapshot: %w", err)
@@ -353,7 +369,7 @@ func (cr *crcReader) vector(n int) ([]float64, error) {
 	return out, nil
 }
 
-func (cr *crcReader) stats() (sparse.IterStats, error) {
+func (cr *crcReader) stats(version byte) (sparse.IterStats, error) {
 	var st sparse.IterStats
 	iters, err := cr.uvarint()
 	if err != nil {
@@ -371,6 +387,13 @@ func (cr *crcReader) stats() (sparse.IterStats, error) {
 		return st, fmt.Errorf("%w: converged flag: %w", ErrBadSnapshot, err)
 	}
 	st.Converged = conv != 0
+	if version >= 2 {
+		ns, err := cr.uvarint()
+		if err != nil {
+			return st, err
+		}
+		st.Elapsed = time.Duration(ns)
+	}
 	return st, nil
 }
 
@@ -389,11 +412,11 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: version: %w", ErrBadSnapshot, err)
 	}
-	if version != snapshotVersion {
+	if version < 1 || version > snapshotVersion {
 		return nil, fmt.Errorf("%w: %d", ErrSnapshotVers, version)
 	}
 	cr := &crcReader{r: br}
-	sn, err := readSnapshotPayload(cr)
+	sn, err := readSnapshotPayload(cr, version)
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +430,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	return sn, nil
 }
 
-func readSnapshotPayload(cr *crcReader) (*Snapshot, error) {
+func readSnapshotPayload(cr *crcReader, version byte) (*Snapshot, error) {
 	sn := &Snapshot{}
 	seq, err := cr.uvarint()
 	if err != nil {
@@ -451,10 +474,10 @@ func readSnapshotPayload(cr *crcReader) (*Snapshot, error) {
 		}
 		*dst = v
 	}
-	if sn.PrestigeStats, err = cr.stats(); err != nil {
+	if sn.PrestigeStats, err = cr.stats(version); err != nil {
 		return nil, err
 	}
-	if sn.HeteroStats, err = cr.stats(); err != nil {
+	if sn.HeteroStats, err = cr.stats(version); err != nil {
 		return nil, err
 	}
 	return sn, nil

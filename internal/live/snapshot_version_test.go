@@ -1,0 +1,59 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSnapshotElapsedRoundTrip checks that format v2 persists the
+// per-phase solver wall times.
+func TestSnapshotElapsedRoundTrip(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 1, 1700000000)
+	sn.PrestigeStats.Elapsed = 1234567 * time.Nanosecond
+	sn.HeteroStats.Elapsed = 42 * time.Millisecond
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PrestigeStats.Elapsed != sn.PrestigeStats.Elapsed ||
+		got.HeteroStats.Elapsed != sn.HeteroStats.Elapsed {
+		t.Errorf("elapsed round trip: %v/%v, want %v/%v",
+			got.PrestigeStats.Elapsed, got.HeteroStats.Elapsed,
+			sn.PrestigeStats.Elapsed, sn.HeteroStats.Elapsed)
+	}
+}
+
+// TestSnapshotReadsVersion1 checks that pre-elapsed (v1) snapshots
+// still decode, with zero wall times.
+func TestSnapshotReadsVersion1(t *testing.T) {
+	store, sc := rankedFixture(t)
+	sn := Capture(store, sc, 3, 1700000000)
+	sn.PrestigeStats.Elapsed = time.Second // must be dropped by the v1 encoding
+
+	var buf bytes.Buffer
+	if err := writeSnapshotVersion(&buf, sn, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if got.Seq != 3 || got.Fingerprint != sn.Fingerprint {
+		t.Errorf("v1 header: %+v", got)
+	}
+	if got.PrestigeStats.Iterations != sn.PrestigeStats.Iterations ||
+		got.PrestigeStats.Residual != sn.PrestigeStats.Residual {
+		t.Errorf("v1 stats: %+v vs %+v", got.PrestigeStats, sn.PrestigeStats)
+	}
+	if got.PrestigeStats.Elapsed != 0 || got.HeteroStats.Elapsed != 0 {
+		t.Errorf("v1 decode invented elapsed: %v/%v",
+			got.PrestigeStats.Elapsed, got.HeteroStats.Elapsed)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Metric and header names used by the HTTP instrumentation.
+const (
+	// RequestIDHeader carries the request correlation id; the
+	// middleware echoes an incoming value and generates one otherwise.
+	RequestIDHeader = "X-Request-ID"
+
+	metricRequestDuration = "http_request_duration_seconds"
+	metricRequestsTotal   = "http_requests_total"
+	metricInFlight        = "http_in_flight_requests"
+)
+
+// statusWriter captures the response status code and body size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass buckets a status code as "2xx", "4xx", ...
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// HTTPMetrics instruments routes of one server against a registry:
+// a per-route latency histogram, per-route status-class counters and
+// a shared in-flight gauge.
+type HTTPMetrics struct {
+	reg      *Registry
+	inFlight *Gauge
+}
+
+// NewHTTPMetrics binds request instrumentation to a registry.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge(metricInFlight, "Requests currently being served.", nil),
+	}
+}
+
+// Wrap instruments one route. The histogram and the 2xx counter are
+// created eagerly so the families appear in /metrics before the first
+// request; other status classes appear on first occurrence.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	hist := m.reg.Histogram(metricRequestDuration,
+		"Request latency by route.", Labels{"route": route}, nil)
+	m.reg.Counter(metricRequestsTotal,
+		"Requests by route and status class.", Labels{"route": route, "code": "2xx"})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		defer m.inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		hist.Observe(time.Since(start).Seconds())
+		m.reg.Counter(metricRequestsTotal,
+			"Requests by route and status class.",
+			Labels{"route": route, "code": statusClass(sw.status)}).Inc()
+	})
+}
+
+// requestIDKey is the context key the request id travels under.
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request id stamped by the RequestID
+// middleware, or "" outside one.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a 16-hex-char random id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a fixed id rather than fail the request; the id
+		// is a correlation convenience, not a security token.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID propagates X-Request-ID: an incoming id is kept, a
+// missing one generated; either way the id is echoed on the response
+// and stored in the request context for handlers and request logs.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// AccessLog emits one structured line per request: method, path,
+// status, bytes, duration and the correlation id (run it inside
+// RequestID so the id is populated).
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"request_id", RequestIDFrom(r.Context()),
+		)
+	})
+}

@@ -1,0 +1,373 @@
+// Package obs is the observability layer shared by every serving and
+// solving component: a dependency-free metrics registry exposed in
+// Prometheus text format, component-tagged structured logging on
+// log/slog, HTTP request instrumentation middleware, and opt-in pprof
+// mounting. It deliberately implements the small subset of the
+// Prometheus client model this repository needs — counters, gauges
+// (including callback gauges evaluated at scrape time) and
+// fixed-bucket histograms — so the solver and the server stay free of
+// third-party dependencies.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default request-latency histogram bounds in
+// seconds: sub-millisecond cache hits through multi-second re-solves.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Labels attach dimension values to a metric series. Series identity
+// is the metric name plus the sorted label set.
+type Labels map[string]string
+
+// metric family types in exposition output.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing count of events.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta; negative deltas are ignored (counters never
+// decrease).
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets. It is
+// safe for concurrent Observe calls.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one observation (for latency histograms, in
+// seconds).
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative in exposition; store per-bucket here and
+	// accumulate at scrape time, so Observe touches one counter.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// series is one labelled time series inside a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	order  []string // label strings in registration order, sorted at scrape
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format (version 0.0.4). All methods are safe for
+// concurrent use. Metrics are get-or-create: asking twice for the
+// same name and labels returns the same instrument, so call sites do
+// not need to thread instrument handles around.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry backs the package-level helpers.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry used by components that
+// are not handed an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) getFamily(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) getSeries(labels Labels) *series {
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+		sort.Strings(f.order)
+	}
+	return s
+}
+
+// Counter returns the counter with the given name and labels,
+// creating it at zero on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeCounter).getSeries(labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it
+// at zero on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeGauge).getSeries(labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the natural shape for staleness and "current generation"
+// metrics that are derived, not accumulated. Re-registering the same
+// series replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeGauge).getSeries(labels)
+	s.fn = fn
+}
+
+// Histogram returns the histogram with the given name, labels and
+// upper bucket bounds (nil selects DefBuckets), creating it empty on
+// first use. Bounds must be strictly increasing; the +Inf bucket is
+// implicit.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not increasing: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeHistogram).getSeries(labels)
+	if s.h == nil {
+		s.h = &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+	}
+	return s.h
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted,
+// or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value; Prometheus accepts Go's 'g'
+// shortest representation and the spelled-out +Inf.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in text exposition
+// format, families sorted by name and series by label string.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			if err := writeSeries(w, f, f.series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+		return err
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+		return err
+	case s.h != nil:
+		return writeHistogram(w, f.name, s)
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count, splicing the le label into the series' own label set.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, spliceLabel(s.labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, spliceLabel(s.labels, "le", "+Inf"), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, count)
+	return err
+}
+
+// spliceLabel appends one k="v" pair to a rendered label string.
+func spliceLabel(rendered, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			Logger("obs").Error("write metrics", "error", err)
+		}
+	})
+}

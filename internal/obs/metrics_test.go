@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the text exposition format: family
+// ordering, HELP/TYPE lines, label rendering, histogram buckets.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_events_total", "Events seen.", nil).Add(3)
+	reg.Gauge("aa_depth", "Queue depth.", Labels{"queue": "in"}).Set(2.5)
+	reg.GaugeFunc("mm_static", "A derived value.", nil, func() float64 { return 7 })
+	h := reg.Histogram("req_seconds", "Latency.", Labels{"route": "/top"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_depth Queue depth.
+# TYPE aa_depth gauge
+aa_depth{queue="in"} 2.5
+# HELP mm_static A derived value.
+# TYPE mm_static gauge
+mm_static 7
+# HELP req_seconds Latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{route="/top",le="0.1"} 1
+req_seconds_bucket{route="/top",le="1"} 2
+req_seconds_bucket{route="/top",le="+Inf"} 3
+req_seconds_sum{route="/top"} 5.55
+req_seconds_count{route="/top"} 3
+# HELP zz_events_total Events seen.
+# TYPE zz_events_total counter
+zz_events_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "h", Labels{"x": "1"})
+	b := reg.Counter("c_total", "h", Labels{"x": "1"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	other := reg.Counter("c_total", "h", Labels{"x": "2"})
+	if a == other {
+		t.Error("distinct labels shared a counter")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter name did not panic")
+		}
+	}()
+	reg.Gauge("m", "h", nil)
+}
+
+func TestGaugeOps(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if v := g.Value(); v != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", v)
+	}
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "h", nil, []float64{1, 2})
+	// An observation exactly on a bound lands in that bound's bucket
+	// (le is inclusive).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "h", Labels{"k": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "h", nil)
+	g := reg.Gauge("g", "h", nil)
+	h := reg.Histogram("h", "h", nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-80) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 80", h.Sum())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "h", nil).Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}

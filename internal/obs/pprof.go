@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. Profiling endpoints expose internals (heap contents,
+// goroutine stacks) and can be expensive, so callers gate this behind
+// an explicit opt-in flag rather than mounting it unconditionally.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

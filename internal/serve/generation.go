@@ -3,7 +3,6 @@ package serve
 import (
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"time"
 
@@ -115,6 +114,7 @@ func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
 	if stats.Empty() {
 		return stats, nil
 	}
+	s.metrics.ingestApplied.Inc()
 	return stats, s.rebuildLocked(store, "ingest")
 }
 
@@ -160,6 +160,15 @@ func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
 		s.engine.Close()
 	}
 	s.engine = eng
+	s.metrics.swap(source)
+	// Iterations the warm start avoided, with the previous
+	// generation's solve standing in for the cold baseline — a small
+	// delta's cold re-solve costs about what the previous solve did.
+	prevIters := prev.scores.PrestigeStats.Iterations + prev.scores.HeteroStats.Iterations
+	newIters := scores.PrestigeStats.Iterations + scores.HeteroStats.Iterations
+	if saved := prevIters - newIters; saved > 0 {
+		s.metrics.warmSaved.Add(uint64(saved))
+	}
 	return nil
 }
 
@@ -191,20 +200,22 @@ func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Sto
 		trial := acc.Clone()
 		stats, err := applyDeltaFile(trial, f.Path)
 		if err != nil {
-			log.Printf("serve: spool %s: %v", f.Path, err)
+			s.log.Warn("spool delta rejected, quarantining", "file", f.Path, "error", err)
+			s.metrics.ingestQuarantined.Inc()
 			if rerr := os.Rename(f.Path, f.Path+".err"); rerr != nil {
-				log.Printf("serve: quarantine %s: %v", f.Path, rerr)
+				s.log.Error("spool quarantine rename failed", "file", f.Path, "error", rerr)
 			}
 			continue
 		}
 		acc = trial
 		ingested = true
+		s.metrics.ingestApplied.Inc()
 		total.NewArticles += stats.NewArticles
 		total.NewCitations += stats.NewCitations
 		total.DuplicateCitations += stats.DuplicateCitations
 		total.DroppedRefs += stats.DroppedRefs
 		if err := live.MarkDone(f.Path); err != nil {
-			log.Printf("serve: %v", err)
+			s.log.Error("spool mark-done rename failed", "file", f.Path, "error", err)
 		}
 	}
 	if !ingested {
@@ -245,19 +256,20 @@ func (s *Server) refreshOnce(debounce time.Duration) {
 	defer s.mu.Unlock()
 	stats, store, err := s.drainSpoolLocked(debounce)
 	if err != nil {
-		log.Printf("serve: refresh: %v", err)
+		s.log.Error("spool refresh scan failed", "spool", s.cfg.SpoolDir, "error", err)
 		return
 	}
 	if store == nil {
 		return
 	}
 	if err := s.rebuildLocked(store, "ingest"); err != nil {
-		log.Printf("serve: refresh: %v", err)
+		s.log.Error("spool refresh re-rank failed", "spool", s.cfg.SpoolDir, "error", err)
 		return
 	}
 	g := s.gen.Load()
-	log.Printf("serve: refreshed to generation %d (+%d articles, +%d citations)",
-		g.version, stats.NewArticles, stats.NewCitations)
+	s.log.Info("generation swapped",
+		"version", g.version, "source", g.source,
+		"new_articles", stats.NewArticles, "new_citations", stats.NewCitations)
 }
 
 // Close stops the background refresher and releases the solver worker

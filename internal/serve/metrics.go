@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"scholarrank/internal/core"
+	"scholarrank/internal/obs"
+	"scholarrank/internal/sparse"
+)
+
+// Serving metric names, exposed at GET /metrics. The request-level
+// families (http_request_duration_seconds, http_requests_total,
+// http_in_flight_requests) come from obs.HTTPMetrics.
+const (
+	metricSwaps             = "sarserve_generation_swaps_total"
+	metricWarmSaved         = "sarserve_warmstart_iterations_saved_total"
+	metricIngestApplied     = "sarserve_ingest_batches_applied_total"
+	metricIngestQuarantined = "sarserve_ingest_batches_quarantined_total"
+	metricStaleness         = "sarserve_ranking_staleness_seconds"
+	metricVersion           = "sarserve_ranking_version"
+	metricSolverIters       = "sarserve_solver_iterations"
+	metricSolverResidual    = "sarserve_solver_residual"
+	metricSolverSeconds     = "sarserve_solver_phase_seconds"
+	metricPoolWorkers       = "sarserve_solver_pool_workers"
+	metricPoolSweeps        = "sarserve_solver_pool_sweeps"
+)
+
+// serveMetrics bundles every instrument the serving layer records
+// into. The solver and freshness metrics are callback gauges reading
+// the current generation at scrape time, so they follow hot swaps
+// with no bookkeeping on the swap path.
+type serveMetrics struct {
+	reg  *obs.Registry
+	http *obs.HTTPMetrics
+
+	warmSaved         *obs.Counter
+	ingestApplied     *obs.Counter
+	ingestQuarantined *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	// Pre-create the per-source swap counters so the family shows up
+	// in /metrics (at zero) before the first hot swap.
+	for _, source := range []string{"ingest", "reload"} {
+		reg.Counter(metricSwaps, "Generation hot-swaps by source.", obs.Labels{"source": source})
+	}
+	return &serveMetrics{
+		reg:  reg,
+		http: obs.NewHTTPMetrics(reg),
+		warmSaved: reg.Counter(metricWarmSaved,
+			"Solver iterations avoided by warm-starting re-solves, versus the previous generation's solve.", nil),
+		ingestApplied: reg.Counter(metricIngestApplied,
+			"Delta batches folded into the corpus (HTTP bodies and spool files).", nil),
+		ingestQuarantined: reg.Counter(metricIngestQuarantined,
+			"Malformed spool delta files renamed aside as *.err.", nil),
+	}
+}
+
+// swap counts one generation swap by source ("ingest" or "reload").
+func (m *serveMetrics) swap(source string) {
+	m.reg.Counter(metricSwaps,
+		"Generation hot-swaps by source.", obs.Labels{"source": source}).Inc()
+}
+
+// observeServer registers the scrape-time gauges over the server's
+// live generation: ranking version and staleness, per-phase solver
+// convergence and wall time from the last solve, and worker-pool
+// occupancy.
+func (m *serveMetrics) observeServer(s *Server) {
+	// The gauges are registered before the first generation is stored;
+	// a scrape in that window reads zeros rather than panicking.
+	scores := func() *core.Scores {
+		if g := s.gen.Load(); g != nil {
+			return g.scores
+		}
+		return &core.Scores{}
+	}
+	m.reg.GaugeFunc(metricVersion,
+		"Current ranking generation number.", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.version)
+			}
+			return 0
+		})
+	m.reg.GaugeFunc(metricStaleness,
+		"Age of the serving ranking in seconds.", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return s.clock().Sub(g.rankedAt).Seconds()
+			}
+			return 0
+		})
+
+	stats := map[string]func() sparse.IterStats{
+		core.PhasePrestige: func() sparse.IterStats { return scores().PrestigeStats },
+		core.PhaseHetero:   func() sparse.IterStats { return scores().HeteroStats },
+	}
+	for phase, get := range stats {
+		get := get
+		m.reg.GaugeFunc(metricSolverIters,
+			"Iterations of the last solve by phase.", obs.Labels{"phase": phase},
+			func() float64 { return float64(get().Iterations) })
+		m.reg.GaugeFunc(metricSolverResidual,
+			"Final L1 residual of the last solve by phase.", obs.Labels{"phase": phase},
+			func() float64 { return get().Residual })
+		m.reg.GaugeFunc(metricSolverSeconds,
+			"Wall time of the last solve by phase, in seconds.", obs.Labels{"phase": phase},
+			func() float64 { return get().Elapsed.Seconds() })
+	}
+
+	m.reg.GaugeFunc(metricPoolWorkers,
+		"Worker-pool parallelism of the last solve.", nil,
+		func() float64 { return float64(scores().Pool.Workers) })
+	m.reg.GaugeFunc(metricPoolSweeps,
+		"Cumulative kernel sweeps the solver pool has executed.", nil,
+		func() float64 { return float64(scores().Pool.Runs) })
+}

@@ -15,7 +15,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -26,6 +26,7 @@ import (
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/live"
+	"scholarrank/internal/obs"
 	"scholarrank/internal/rank"
 )
 
@@ -53,6 +54,19 @@ type Config struct {
 	Debounce time.Duration
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+
+	// Logger receives the server's structured log lines; nil selects
+	// the shared obs logger tagged component=serve.
+	Logger *slog.Logger
+	// Metrics is the registry backing GET /metrics and every serving
+	// instrument; nil creates a registry private to this server.
+	Metrics *obs.Registry
+	// RequestLog, when true, emits one structured log line per request
+	// (method, path, status, bytes, duration, request id).
+	RequestLog bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
+	// because profiling endpoints expose process internals.
+	EnablePprof bool
 }
 
 // Server serves a ranked corpus and keeps it fresh as deltas arrive.
@@ -60,8 +74,10 @@ type Config struct {
 // for concurrent requests, with writes (ingest, reload, refresher)
 // serialised internally.
 type Server struct {
-	cfg   Config
-	clock func() time.Time
+	cfg     Config
+	clock   func() time.Time
+	log     *slog.Logger
+	metrics *serveMetrics
 
 	// gen is the serving state: swapped atomically, never mutated.
 	gen atomic.Pointer[generation]
@@ -146,8 +162,23 @@ func newServerShell(cfg Config) *Server {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Server{cfg: cfg, clock: clock}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Logger("serve")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{cfg: cfg, clock: clock, log: logger, metrics: newServeMetrics(reg)}
+	s.metrics.observeServer(s)
+	return s
 }
+
+// Metrics returns the registry the server records into — callers
+// embedding the server can add their own instruments or mount its
+// Handler elsewhere.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 func (s *Server) startRefresher() {
 	if s.cfg.SpoolDir == "" || s.cfg.RefreshInterval <= 0 {
@@ -188,21 +219,36 @@ type ArticleView struct {
 	Percentile float64 `json:"percentile"`
 }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service. Every route is
+// instrumented (latency histogram, status-class counters, in-flight
+// gauge) and tagged with a request correlation id; the registry
+// itself is scraped at GET /metrics. With Config.EnablePprof the
+// net/http/pprof handlers are mounted under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /top", s.handleTop)
-	mux.HandleFunc("GET /article", s.handleArticle)
-	mux.HandleFunc("GET /compare", s.handleCompare)
-	mux.HandleFunc("GET /authors", s.handleAuthors)
-	mux.HandleFunc("GET /venues", s.handleVenues)
-	mux.HandleFunc("GET /related", s.handleRelated)
-	mux.HandleFunc("POST /admin/ingest", s.handleIngest)
-	mux.HandleFunc("POST /admin/reload", s.handleReload)
-	mux.HandleFunc("GET /admin/snapshot", s.handleSnapshot)
-	return mux
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.http.Wrap(name, h))
+	}
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /stats", "/stats", s.handleStats)
+	route("GET /top", "/top", s.handleTop)
+	route("GET /article", "/article", s.handleArticle)
+	route("GET /compare", "/compare", s.handleCompare)
+	route("GET /authors", "/authors", s.handleAuthors)
+	route("GET /venues", "/venues", s.handleVenues)
+	route("GET /related", "/related", s.handleRelated)
+	route("POST /admin/ingest", "/admin/ingest", s.handleIngest)
+	route("POST /admin/reload", "/admin/reload", s.handleReload)
+	route("GET /admin/snapshot", "/admin/snapshot", s.handleSnapshot)
+	mux.Handle("GET /metrics", s.metrics.http.Wrap("/metrics", s.metrics.reg.Handler()))
+	if s.cfg.EnablePprof {
+		obs.MountPprof(mux)
+	}
+	var h http.Handler = mux
+	if s.cfg.RequestLog {
+		h = obs.AccessLog(s.log, h)
+	}
+	return obs.RequestID(h)
 }
 
 // handleHealthz reports liveness plus the freshness of the ranking:
@@ -266,7 +312,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=ranking-v%d.snap", g.version))
 	if err := live.WriteSnapshot(w, g.snapshot()); err != nil {
-		log.Printf("serve: write snapshot: %v", err)
+		s.log.Error("write snapshot", "version", g.version, "error", err)
 	}
 }
 
@@ -445,6 +491,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"hetero_iters":        g.scores.HeteroStats.Iterations,
 		"prestige_converged":  g.scores.PrestigeStats.Converged,
 		"hetero_converged":    g.scores.HeteroStats.Converged,
+		"prestige_residual":   g.scores.PrestigeStats.Residual,
+		"hetero_residual":     g.scores.HeteroStats.Residual,
+		"prestige_seconds":    g.scores.PrestigeStats.Elapsed.Seconds(),
+		"hetero_seconds":      g.scores.HeteroStats.Elapsed.Seconds(),
+		"solver_workers":      g.scores.Pool.Workers,
+		"solver_pool_sweeps":  g.scores.Pool.Runs,
 		"importance_top_mean": topMean(imp, g.order, 100),
 		"version":             g.version,
 		"source":              g.source,
@@ -472,7 +524,7 @@ func topMean(imp []float64, order []int, k int) float64 {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("serve: encode response: %v", err)
+		obs.Logger("serve").Error("encode response", "error", err)
 	}
 }
 

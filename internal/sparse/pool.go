@@ -29,6 +29,30 @@ type Pool struct {
 	work    chan *poolJob
 	closed  atomic.Bool
 	once    sync.Once
+
+	// Occupancy counters for observability: Run invocations and tasks
+	// dispatched over the pool's lifetime.
+	runs  atomic.Uint64
+	tasks atomic.Uint64
+}
+
+// PoolStats is a point-in-time occupancy summary of a pool: its
+// parallelism and the cumulative kernel sweeps (Runs) and chunk tasks
+// (Tasks) it has executed. Tasks/Runs is the average chunk fan-out
+// per sweep — how much of the pool each kernel actually engages.
+type PoolStats struct {
+	Workers int
+	Runs    uint64
+	Tasks   uint64
+}
+
+// Stats reports the pool's occupancy counters. A nil pool reports a
+// single inline worker with no recorded activity.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{Workers: 1}
+	}
+	return PoolStats{Workers: p.Workers(), Runs: p.runs.Load(), Tasks: p.tasks.Load()}
 }
 
 // poolJob is one Run invocation: a task body and an atomic cursor
@@ -88,6 +112,10 @@ func (p *Pool) Workers() int {
 func (p *Pool) Run(total int, fn func(task int)) {
 	if total <= 0 {
 		return
+	}
+	if p != nil {
+		p.runs.Add(1)
+		p.tasks.Add(uint64(total))
 	}
 	if p == nil || p.workers <= 1 || total == 1 || p.closed.Load() {
 		for i := 0; i < total; i++ {

@@ -3,6 +3,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Default iteration parameters shared by all fixed-point solvers in
@@ -25,6 +26,21 @@ type IterOptions struct {
 	// Trace, when true, records the residual after every iteration in
 	// IterStats.ResidualTrace.
 	Trace bool
+	// OnIteration, when set, is called synchronously after every
+	// iteration with that iteration's residual and wall time — the
+	// live-observability hook behind core.Options.Trace. It runs on
+	// the solver goroutine; keep it cheap.
+	OnIteration func(IterEvent)
+}
+
+// IterEvent describes one completed fixed-point iteration.
+type IterEvent struct {
+	// Iteration is 1-based.
+	Iteration int
+	// Residual is the L1 change this iteration produced.
+	Residual float64
+	// Elapsed is the wall time of this single iteration.
+	Elapsed time.Duration
 }
 
 func (o IterOptions) withDefaults() (IterOptions, error) {
@@ -45,7 +61,8 @@ type IterStats struct {
 	Iterations    int
 	Residual      float64 // final L1 residual
 	Converged     bool
-	ResidualTrace []float64 // per-iteration residuals when Trace was set
+	Elapsed       time.Duration // wall time of the whole iteration loop
+	ResidualTrace []float64     // per-iteration residuals when Trace was set
 }
 
 // StepFunc computes one fixed-point step: given the current vector
@@ -117,10 +134,21 @@ func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions)
 	cur := Clone(init)
 	next := make([]float64, len(init))
 	var st IterStats
+	start := time.Now()
+	iterStart := start
 	for st.Iterations = 1; st.Iterations <= opts.MaxIter; st.Iterations++ {
 		st.Residual = step(next, cur)
 		if opts.Trace {
 			st.ResidualTrace = append(st.ResidualTrace, st.Residual)
+		}
+		if opts.OnIteration != nil {
+			now := time.Now()
+			opts.OnIteration(IterEvent{
+				Iteration: st.Iterations,
+				Residual:  st.Residual,
+				Elapsed:   now.Sub(iterStart),
+			})
+			iterStart = now
 		}
 		cur, next = next, cur
 		if st.Residual < opts.Tol {
@@ -131,5 +159,6 @@ func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions)
 	if st.Iterations > opts.MaxIter {
 		st.Iterations = opts.MaxIter
 	}
+	st.Elapsed = time.Since(start)
 	return cur, st, nil
 }
