@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test test-race bench-quick bench
+.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench
 
 ## check: everything CI runs — vet, lint, build, race-detector tests on
 ## the parallel packages, then the full test suite.
@@ -11,13 +11,28 @@ vet:
 
 ## lint: style gates with no external tooling. All logging goes through
 ## the component loggers in internal/obs, so a bare log.Printf anywhere
-## else is a regression.
-lint:
+## else is a regression. Also runs gofmt and a short fuzz pass over the
+## corpus decoders, so the parsers get adversarial input on every
+## check, not only when someone remembers to fuzz.
+lint: fmt fuzz-smoke
 	@bad=$$(grep -rn 'log\.Printf' --include='*.go' . | grep -v '^\./internal/obs/' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "lint: log.Printf outside internal/obs (use obs.Logger):"; \
 		echo "$$bad"; exit 1; \
 	fi
+
+## fmt: fail on any file gofmt would rewrite.
+fmt:
+	@bad=$$(gofmt -l .); \
+	if [ -n "$$bad" ]; then \
+		echo "fmt: files need gofmt:"; echo "$$bad"; exit 1; \
+	fi
+
+## fuzz-smoke: 10 seconds each on the TSV parser and the SCORP binary
+## reader — the two decoders that consume untrusted bytes.
+fuzz-smoke:
+	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadTSV -fuzztime 10s
+	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadSCORP -fuzztime 10s
 
 build:
 	$(GO) build ./...

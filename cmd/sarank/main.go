@@ -8,10 +8,13 @@
 //	sarank -in corpus.tsv -algo all -k 5
 //	sarank -in corpus.bin -entities
 //	sarank -in corpus.jsonl -save-scores ranking.snap
+//	sarank -in corpus.tsv -save-corpus corpus.scorp -k 0
 //
 // With -save-scores the full QISA ranking (all signal components) is
 // persisted as a checksummed snapshot that sarserve -scores boots
-// from without re-solving.
+// from without re-solving. With -save-corpus the loaded corpus is
+// re-emitted as a columnar SCORP file, the converter path from any
+// text format to the zero-parse boot format sarserve -corpus reads.
 package main
 
 import (
@@ -54,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
 		entities = fs.Bool("entities", false, "also print top authors and venues (derived from article scores)")
 		save     = fs.String("save-scores", "", "write the QISA ranking as a snapshot file for sarserve -scores")
+		saveCorp = fs.String("save-corpus", "", "write the loaded corpus as a columnar SCORP file for sarserve -corpus")
 		trace    = fs.Bool("trace", false, "print per-iteration solver residuals for the prestige and hetero phases (QISA-Rank only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +77,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	store, err := cliutil.LoadCorpus(*in, *format)
 	if err != nil {
 		return err
+	}
+	if *saveCorp != "" {
+		if err := corpus.WriteSCORPFile(*saveCorp, store); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote columnar corpus %s (%d articles, %d bytes resident)\n",
+			*saveCorp, store.NumArticles(), store.Bytes())
+		// -k 0 with no other output turns the run into a pure format
+		// conversion: skip the solve entirely.
+		if *k == 0 && *save == "" && !*entities && !*trace {
+			return nil
+		}
 	}
 	net := hetnet.Build(store)
 	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",

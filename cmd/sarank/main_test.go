@@ -15,12 +15,12 @@ import (
 // writeTestCorpus creates a small corpus file and returns its path.
 func writeTestCorpus(t *testing.T) string {
 	t.Helper()
-	s := corpus.NewStore()
-	au, _ := s.InternAuthor("au", "Author")
-	v, _ := s.InternVenue("v", "Venue")
+	b := corpus.NewBuilder()
+	au, _ := b.InternAuthor("au", "Author")
+	v, _ := b.InternVenue("v", "Venue")
 	var ids []corpus.ArticleID
 	for i, year := range []int{1990, 1995, 2000, 2005, 2010} {
-		id, err := s.AddArticle(corpus.ArticleMeta{
+		id, err := b.AddArticle(corpus.ArticleMeta{
 			Key: "p" + string(rune('0'+i)), Title: "Article", Year: year,
 			Venue: v, Authors: []corpus.AuthorID{au},
 		})
@@ -31,7 +31,7 @@ func writeTestCorpus(t *testing.T) string {
 	}
 	for i := 1; i < len(ids); i++ {
 		for j := 0; j < i; j++ {
-			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+			if err := b.AddCitation(ids[i], ids[j]); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -41,7 +41,7 @@ func writeTestCorpus(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cliutil.WriteCorpus(f, s, cliutil.FormatJSONL); err != nil {
+	if err := cliutil.WriteCorpus(f, b.Freeze(), cliutil.FormatJSONL); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {

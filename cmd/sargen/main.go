@@ -1,10 +1,15 @@
 // Command sargen generates a synthetic scholarly corpus and writes it
-// in JSONL, TSV or binary form, optionally together with the oracle
-// quality file the evaluation harness consumes.
+// in JSONL, TSV, binary or columnar SCORP form, optionally together
+// with the oracle quality file the evaluation harness consumes.
 //
 // Usage:
 //
 //	sargen -n 100000 -seed 7 -out corpus.jsonl [-quality quality.tsv]
+//	sargen -n 100000 -seed 7 -out corpus.jsonl -emit-corpus corpus.scorp
+//
+// -emit-corpus additionally freezes the generated corpus into the
+// SCORP columnar format that sarserve -corpus boots from with zero
+// parsing.
 package main
 
 import (
@@ -40,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out       = fs.String("out", "", "output path (default stdout)")
 		format    = fs.String("format", "", "output format: jsonl, tsv or bin (default: by extension, jsonl on stdout)")
 		qualOut   = fs.String("quality", "", "also write per-article latent quality TSV to this path")
+		scorpOut  = fs.String("emit-corpus", "", "also write the corpus as a columnar SCORP file to this path")
 		meanRefs  = fs.Float64("refs", 12, "mean references per article")
 		startYear = fs.Int("start-year", 1970, "first publication year")
 		endYear   = fs.Int("end-year", 2017, "last publication year")
@@ -81,6 +87,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if *scorpOut != "" {
+		if err := corpus.WriteSCORPFile(*scorpOut, c.Store); err != nil {
 			return err
 		}
 	}

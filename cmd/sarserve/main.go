@@ -31,8 +31,16 @@
 //
 //	sarserve -in corpus.jsonl -addr :8080
 //	sarserve -in corpus.jsonl -scores ranking.snap        # boot without solving
+//	sarserve -corpus corpus.scorp -scores ranking.snap    # zero-parse boot
 //	sarserve -in corpus.jsonl -spool deltas/ -refresh 30s # live updates
 //	sarserve -in corpus.jsonl -pprof -log-format json
+//
+// The -corpus form loads a columnar SCORP corpus (written by
+// sarank -save-corpus or sargen -emit-corpus): the store's columns are
+// materialised straight from the checksummed byte stream, so boot does
+// no text parsing at all. Combined with -scores the process serves
+// without solving either; /stats reports corpus_bytes and
+// corpus_load_seconds for the load that did happen.
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 
 	"scholarrank/internal/cliutil"
 	"scholarrank/internal/core"
+	"scholarrank/internal/corpus"
 	"scholarrank/internal/live"
 	"scholarrank/internal/obs"
 	"scholarrank/internal/serve"
@@ -60,8 +69,9 @@ const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
-		in        = flag.String("in", "", "corpus file (jsonl or tsv); required")
-		format    = flag.String("format", "", "corpus format override")
+		in        = flag.String("in", "", "corpus file (jsonl, tsv, bin or scorp); required unless -corpus is set")
+		scorpPath = flag.String("corpus", "", "columnar SCORP corpus for zero-parse boot (overrides -in)")
+		format    = flag.String("format", "", "corpus format override (with -in)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
 		scores    = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
@@ -87,24 +97,36 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *in == "" {
+	if *in == "" && *scorpPath == "" {
 		flag.Usage()
-		fatal("missing -in")
+		fatal("missing -in or -corpus")
 	}
 
-	store, err := cliutil.LoadCorpus(*in, *format)
-	if err != nil {
+	loadStart := time.Now()
+	var store *corpus.Store
+	if *scorpPath != "" {
+		if store, err = corpus.ReadSCORPFile(*scorpPath); err != nil {
+			fatal("load corpus", "file", *scorpPath, "error", err)
+		}
+	} else if store, err = cliutil.LoadCorpus(*in, *format); err != nil {
 		fatal("load corpus", "file", *in, "error", err)
 	}
+	loadElapsed := time.Since(loadStart)
+	logger.Info("corpus loaded",
+		"articles", store.NumArticles(), "citations", store.NumCitations(),
+		"bytes", store.Bytes(), "zero_parse", *scorpPath != "",
+		"elapsed", loadElapsed.Round(time.Microsecond).String())
+
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
 	cfg := serve.Config{
-		Options:         opts,
-		SpoolDir:        *spool,
-		RefreshInterval: *refresh,
-		Debounce:        *debounce,
-		RequestLog:      *reqLog,
-		EnablePprof:     *pprofFlag,
+		Options:           opts,
+		SpoolDir:          *spool,
+		RefreshInterval:   *refresh,
+		Debounce:          *debounce,
+		RequestLog:        *reqLog,
+		EnablePprof:       *pprofFlag,
+		CorpusLoadSeconds: loadElapsed.Seconds(),
 	}
 
 	start := time.Now()

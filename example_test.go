@@ -10,7 +10,7 @@ import (
 // buildExampleStore assembles a 3-article corpus used by the runnable
 // documentation examples.
 func buildExampleStore() *scholarrank.Store {
-	s := scholarrank.NewStore()
+	s := scholarrank.NewBuilder()
 	author, err := s.InternAuthor("knuth", "D. Knuth")
 	if err != nil {
 		log.Fatal(err)
@@ -44,7 +44,7 @@ func buildExampleStore() *scholarrank.Store {
 	if err := s.AddCitation(followB, classic); err != nil {
 		log.Fatal(err)
 	}
-	return s
+	return s.Freeze()
 }
 
 // The basic pipeline: build a corpus, assemble the network, rank, and

@@ -16,14 +16,14 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	store := scholarrank.NewStore()
+	b := scholarrank.NewBuilder()
 
 	// Two authors and one venue.
-	hopper, err := store.InternAuthor("hopper", "G. Hopper")
+	hopper, err := b.InternAuthor("hopper", "G. Hopper")
 	check(err)
-	lovelace, err := store.InternAuthor("lovelace", "A. Lovelace")
+	lovelace, err := b.InternAuthor("lovelace", "A. Lovelace")
 	check(err)
-	icde, err := store.InternVenue("icde", "ICDE")
+	icde, err := b.InternVenue("icde", "ICDE")
 	check(err)
 
 	// A miniature literature: a 1998 foundational article, two
@@ -44,7 +44,7 @@ func main() {
 	}
 	ids := map[string]scholarrank.ArticleID{}
 	for _, sp := range specs {
-		id, err := store.AddArticle(scholarrank.ArticleMeta{
+		id, err := b.AddArticle(scholarrank.ArticleMeta{
 			Key: sp.key, Title: sp.title, Year: sp.year,
 			Venue: sp.venue, Authors: sp.authors,
 		})
@@ -52,7 +52,7 @@ func main() {
 		ids[sp.key] = id
 	}
 	cite := func(from, to string) {
-		check(store.AddCitation(ids[from], ids[to]))
+		check(b.AddCitation(ids[from], ids[to]))
 	}
 	cite("walk04", "found98")
 	cite("time06", "found98")
@@ -65,6 +65,7 @@ func main() {
 	// ranking (100k+ articles); on a 5-article toy we soften the
 	// recency decay so two decades of literature stay comparable —
 	// and demonstrate the Options API while at it.
+	store := b.Freeze()
 	net := scholarrank.BuildNetwork(store)
 	opts := scholarrank.DefaultOptions()
 	opts.RhoRecency = 0.15

@@ -27,6 +27,8 @@ const (
 	FormatJSONL  = "jsonl"
 	FormatTSV    = "tsv"
 	FormatBinary = "bin"
+	// FormatSCORP is the columnar zero-parse corpus format.
+	FormatSCORP = "scorp"
 	// FormatAMiner is the AMiner citation-dataset JSON-lines schema
 	// (read-only; select explicitly with -format aminer).
 	FormatAMiner = "aminer"
@@ -39,7 +41,7 @@ const (
 func DetectFormat(path, explicit string) (string, error) {
 	if explicit != "" {
 		switch explicit {
-		case FormatJSONL, FormatTSV, FormatBinary, FormatAMiner:
+		case FormatJSONL, FormatTSV, FormatBinary, FormatSCORP, FormatAMiner:
 			return explicit, nil
 		}
 		return "", fmt.Errorf("%w: %q", ErrUnknownFormat, explicit)
@@ -51,6 +53,8 @@ func DetectFormat(path, explicit string) (string, error) {
 		return FormatTSV, nil
 	case ".bin", ".srnk":
 		return FormatBinary, nil
+	case ".scorp":
+		return FormatSCORP, nil
 	}
 	return "", fmt.Errorf("%w: cannot infer from %q (use -format)", ErrUnknownFormat, path)
 }
@@ -121,6 +125,8 @@ func ReadCorpus(r io.Reader, format string) (*corpus.Store, error) {
 		return corpus.ReadTSV(r, opts)
 	case FormatBinary:
 		return corpus.ReadBinary(r)
+	case FormatSCORP:
+		return corpus.ReadSCORP(r)
 	case FormatAMiner:
 		s, _, _, err := corpus.ReadAMinerJSON(r)
 		return s, err
@@ -137,6 +143,8 @@ func WriteCorpus(w io.Writer, s *corpus.Store, format string) error {
 		return corpus.WriteTSV(w, s)
 	case FormatBinary:
 		return corpus.WriteBinary(w, s)
+	case FormatSCORP:
+		return corpus.WriteSCORP(w, s)
 	}
 	return fmt.Errorf("%w: %q", ErrUnknownFormat, format)
 }

@@ -21,6 +21,7 @@ func TestDetectFormat(t *testing.T) {
 		{"x.txt", "", FormatTSV, false},
 		{"x.bin", "", FormatBinary, false},
 		{"x.srnk", "", FormatBinary, false},
+		{"x.scorp", "", FormatSCORP, false},
 		{"x.dat", "", "", true},
 		{"x.bin", "tsv", FormatTSV, false},
 		{"x.jsonl", "tsv", FormatTSV, false}, // explicit wins
@@ -42,24 +43,24 @@ func TestDetectFormat(t *testing.T) {
 
 func tinyStore(t *testing.T) *corpus.Store {
 	t.Helper()
-	s := corpus.NewStore()
-	a, err := s.AddArticle(corpus.ArticleMeta{Key: "a", Year: 2000, Venue: corpus.NoVenue})
+	bld := corpus.NewBuilder()
+	a, err := bld.AddArticle(corpus.ArticleMeta{Key: "a", Year: 2000, Venue: corpus.NoVenue})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.AddArticle(corpus.ArticleMeta{Key: "b", Year: 2005, Venue: corpus.NoVenue})
+	b, err := bld.AddArticle(corpus.ArticleMeta{Key: "b", Year: 2005, Venue: corpus.NoVenue})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddCitation(b, a); err != nil {
+	if err := bld.AddCitation(b, a); err != nil {
 		t.Fatal(err)
 	}
-	return s
+	return bld.Freeze()
 }
 
 func TestLoadCorpusRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	for _, format := range []string{FormatJSONL, FormatTSV, FormatBinary} {
+	for _, format := range []string{FormatJSONL, FormatTSV, FormatBinary, FormatSCORP} {
 		path := filepath.Join(dir, "c."+format)
 		f, err := os.Create(path)
 		if err != nil {
@@ -109,6 +110,7 @@ func TestGzipFormatDetection(t *testing.T) {
 		"x.jsonl.gz": FormatJSONL,
 		"x.tsv.gz":   FormatTSV,
 		"x.bin.gz":   FormatBinary,
+		"x.scorp.gz": FormatSCORP,
 	} {
 		got, err := DetectFormat(path, "")
 		if err != nil || got != want {

@@ -25,7 +25,7 @@ func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 //	p6 2010 (bare) — brand new, uncited, no authors
 func fixture(t testing.TB) *hetnet.Network {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	star, _ := s.InternAuthor("star", "Star")
 	other, _ := s.InternAuthor("other", "Other")
 	v, _ := s.InternVenue("v", "Venue")
@@ -50,7 +50,7 @@ func fixture(t testing.TB) *hetnet.Network {
 			t.Fatal(err)
 		}
 	}
-	return hetnet.Build(s)
+	return hetnet.Build(s.Freeze())
 }
 
 func TestDefaultOptionsValid(t *testing.T) {
@@ -100,7 +100,7 @@ func TestRankBasics(t *testing.T) {
 }
 
 func TestRankEmptyNetwork(t *testing.T) {
-	sc, err := Rank(hetnet.Build(corpus.NewStore()), DefaultOptions())
+	sc, err := Rank(hetnet.Build(corpus.NewBuilder().Freeze()), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

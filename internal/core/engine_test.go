@@ -129,7 +129,7 @@ func TestEngineValidatesOptions(t *testing.T) {
 }
 
 func TestEngineEmptyNetwork(t *testing.T) {
-	eng := NewEngine(hetnet.Build(corpus.NewStore()))
+	eng := NewEngine(hetnet.Build(corpus.NewBuilder().Freeze()))
 	sc, err := eng.Rank(DefaultOptions())
 	if err != nil {
 		t.Fatal(err)

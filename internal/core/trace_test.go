@@ -12,7 +12,7 @@ import (
 // literature of five articles across two authors and one venue.
 func quickstartNetwork(t *testing.T) *hetnet.Network {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	hopper, _ := s.InternAuthor("hopper", "G. Hopper")
 	lovelace, _ := s.InternAuthor("lovelace", "A. Lovelace")
 	icde, _ := s.InternVenue("icde", "ICDE")
@@ -35,7 +35,7 @@ func quickstartNetwork(t *testing.T) *hetnet.Network {
 			t.Fatal(err)
 		}
 	}
-	return hetnet.Build(s)
+	return hetnet.Build(s.Freeze())
 }
 
 // TestTraceHook runs QISA-Rank on the quickstart corpus with the

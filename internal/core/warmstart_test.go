@@ -20,22 +20,22 @@ func genNetwork(t testing.TB, n int) (*corpus.Store, *hetnet.Network) {
 	return c.Store, hetnet.Build(c.Store)
 }
 
-// growByCitations clones the store and adds a small citation delta:
+// growByCitations thaws the store and adds a small citation delta:
 // each of the last k articles gains one extra citation into article 0.
 func growByCitations(t testing.TB, s *corpus.Store, k int) *corpus.Store {
 	t.Helper()
-	grown := s.Clone()
-	n := grown.NumArticles()
+	b := s.Thaw()
+	n := b.NumArticles()
 	added := 0
 	for i := n - 1; i > 0 && added < k; i-- {
-		if err := grown.AddCitation(corpus.ArticleID(i), 0); err == nil {
+		if err := b.AddCitation(corpus.ArticleID(i), 0); err == nil {
 			added++
 		}
 	}
 	if added == 0 {
 		t.Fatal("no citations added")
 	}
-	return grown
+	return b.Freeze()
 }
 
 // TestWarmStartMatchesCold is the warm-start correctness contract:

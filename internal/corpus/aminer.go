@@ -48,7 +48,7 @@ func rawID(raw json.RawMessage) string {
 // are ignored. It returns the corpus plus counts of skipped records
 // and dropped citations so callers can report data quality.
 func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int, err error) {
-	s = NewStore()
+	b := NewBuilder()
 	type pending struct {
 		from ArticleID
 		refs []string
@@ -73,13 +73,13 @@ func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int
 			skippedRecords++
 			continue
 		}
-		if _, dup := s.ArticleByKey(key); dup {
+		if _, dup := b.ArticleByKey(key); dup {
 			skippedRecords++
 			continue
 		}
 		venue := NoVenue
 		if venueKey := venueKeyOf(rec); venueKey != "" {
-			v, err := s.InternVenue(venueKey, rec.Venue.Raw)
+			v, err := b.InternVenue(venueKey, rec.Venue.Raw)
 			if err != nil {
 				return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
 			}
@@ -94,13 +94,13 @@ func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int
 			if authorKey == "" {
 				continue
 			}
-			a, err := s.InternAuthor(authorKey, au.Name)
+			a, err := b.InternAuthor(authorKey, au.Name)
 			if err != nil {
 				return nil, 0, 0, fmt.Errorf("corpus: aminer line %d: %w", line, err)
 			}
 			authors = append(authors, a)
 		}
-		id, err := s.AddArticle(ArticleMeta{
+		id, err := b.AddArticle(ArticleMeta{
 			Key: key, Title: rec.Title, Year: rec.Year,
 			Venue: venue, Authors: authors,
 		})
@@ -122,17 +122,17 @@ func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int
 	}
 	for _, p := range todo {
 		for _, refKey := range p.refs {
-			to, ok := s.ArticleByKey(refKey)
+			to, ok := b.ArticleByKey(refKey)
 			if !ok || to == p.from {
 				droppedCitations++
 				continue
 			}
-			if err := s.AddCitation(p.from, to); err != nil {
+			if err := b.AddCitation(p.from, to); err != nil {
 				return nil, 0, 0, err
 			}
 		}
 	}
-	return s, skippedRecords, droppedCitations, nil
+	return b.Freeze(), skippedRecords, droppedCitations, nil
 }
 
 // venueKeyOf picks the venue identity: the explicit id when present,

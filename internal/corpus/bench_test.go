@@ -6,14 +6,14 @@ import (
 	"testing"
 )
 
-// benchStore builds a 10k-article corpus with authors, venues and
+// benchBuilder builds a 10k-article corpus with authors, venues and
 // ~5 citations per article.
-func benchStore(b *testing.B) *Store {
+func benchBuilder(b *testing.B) *Builder {
 	b.Helper()
-	s := NewStore()
+	bld := NewBuilder()
 	var authors []AuthorID
 	for i := 0; i < 1000; i++ {
-		a, err := s.InternAuthor(fmt.Sprintf("a%04d", i), fmt.Sprintf("Author %d", i))
+		a, err := bld.InternAuthor(fmt.Sprintf("a%04d", i), fmt.Sprintf("Author %d", i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -21,14 +21,14 @@ func benchStore(b *testing.B) *Store {
 	}
 	var venues []VenueID
 	for i := 0; i < 20; i++ {
-		v, err := s.InternVenue(fmt.Sprintf("v%02d", i), fmt.Sprintf("Venue %d", i))
+		v, err := bld.InternVenue(fmt.Sprintf("v%02d", i), fmt.Sprintf("Venue %d", i))
 		if err != nil {
 			b.Fatal(err)
 		}
 		venues = append(venues, v)
 	}
 	for i := 0; i < 10_000; i++ {
-		_, err := s.AddArticle(ArticleMeta{
+		_, err := bld.AddArticle(ArticleMeta{
 			Key:     fmt.Sprintf("p%06d", i),
 			Title:   "A Reasonably Long Article Title For Benchmarking",
 			Year:    1970 + i%48,
@@ -43,11 +43,17 @@ func benchStore(b *testing.B) *Store {
 		for r := 1; r <= 5; r++ {
 			ref := ArticleID((i * r * 7919) % i)
 			if ref != ArticleID(i) {
-				_ = s.AddCitation(ArticleID(i), ref)
+				_ = bld.AddCitation(ArticleID(i), ref)
 			}
 		}
 	}
-	return s
+	return bld
+}
+
+// benchStore is the frozen form of benchBuilder.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	return benchBuilder(b).Freeze()
 }
 
 func benchEncoded(b *testing.B, write func(*bytes.Buffer, *Store) error) []byte {
@@ -115,5 +121,41 @@ func BenchmarkCitationGraph(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.CitationGraph()
+	}
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	bld := benchBuilder(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bld.Freeze()
+	}
+}
+
+// BenchmarkCorpusLoadTSV and BenchmarkCorpusLoadSCORP measure the
+// boot path from the same corpus in both encodings; EXPERIMENTS.md
+// records the reference numbers (SCORP must stay ≥ 5× faster).
+func BenchmarkCorpusLoadTSV(b *testing.B) {
+	raw := benchEncoded(b, func(buf *bytes.Buffer, s *Store) error { return WriteTSV(buf, s) })
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadTSV(bytes.NewReader(raw), ReadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorpusLoadSCORP(b *testing.B) {
+	raw := benchEncoded(b, func(buf *bytes.Buffer, s *Store) error { return WriteSCORP(buf, s) })
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSCORP(raw); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -209,7 +209,7 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("%w: %d", ErrSnapshotVers, version)
 	}
 	cr := &crcReader{r: br}
-	s, err := readBinaryPayload(cr)
+	b, err := readBinaryPayload(cr)
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +220,11 @@ func ReadBinary(r io.Reader) (*Store, error) {
 	if binary.BigEndian.Uint32(crcBuf[:]) != cr.crc {
 		return nil, ErrSnapshotCRC
 	}
-	return s, nil
+	return b.Freeze(), nil
 }
 
-func readBinaryPayload(cr *crcReader) (*Store, error) {
-	s := NewStore()
+func readBinaryPayload(cr *crcReader) (*Builder, error) {
+	s := NewBuilder()
 	nAuthors, err := cr.uvarint()
 	if err != nil {
 		return nil, err

@@ -29,7 +29,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestBinaryEmptyStore(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, NewStore()); err != nil {
+	if err := WriteBinary(&buf, NewBuilder().Freeze()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadBinary(&buf)
@@ -110,22 +110,22 @@ func TestBinaryHostileLengths(t *testing.T) {
 }
 
 func TestBinaryLargerCorpus(t *testing.T) {
-	s := NewStore()
+	b := NewBuilder()
 	var auths []AuthorID
 	for i := 0; i < 50; i++ {
-		a, err := s.InternAuthor(strings.Repeat("a", i+1), "Name")
+		a, err := b.InternAuthor(strings.Repeat("a", i+1), "Name")
 		if err != nil {
 			t.Fatal(err)
 		}
 		auths = append(auths, a)
 	}
-	v, _ := s.InternVenue("v", "V")
+	v, _ := b.InternVenue("v", "V")
 	for i := 0; i < 500; i++ {
 		venue := NoVenue
 		if i%3 == 0 {
 			venue = v
 		}
-		_, err := s.AddArticle(ArticleMeta{
+		_, err := b.AddArticle(ArticleMeta{
 			Key:     strings.Repeat("p", 1+i%7) + string(rune('0'+i%10)) + strings.Repeat("x", i/10),
 			Title:   "Title with unicode ✓ and spaces",
 			Year:    1970 + i%50,
@@ -137,10 +137,11 @@ func TestBinaryLargerCorpus(t *testing.T) {
 		}
 	}
 	for i := 1; i < 500; i++ {
-		if err := s.AddCitation(ArticleID(i), ArticleID(i/2)); err != nil {
+		if err := b.AddCitation(ArticleID(i), ArticleID(i/2)); err != nil {
 			t.Fatal(err)
 		}
 	}
+	s := b.Freeze()
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, s); err != nil {
 		t.Fatal(err)

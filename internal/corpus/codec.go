@@ -65,9 +65,10 @@ func WriteJSONL(w io.Writer, s *Store) error {
 
 // ReadJSONL decodes a corpus written by WriteJSONL (or any stream in
 // the same schema). Citations may reference articles that appear
-// later in the stream; they are resolved in a second pass.
+// later in the stream; they are resolved in a second pass. The result
+// is a frozen columnar Store.
 func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) {
-	s := NewStore()
+	b := NewBuilder()
 	type pending struct {
 		from ArticleID
 		refs []string
@@ -88,7 +89,7 @@ func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) {
 		}
 		venue := NoVenue
 		if rec.Venue != "" {
-			v, err := s.InternVenue(rec.Venue, rec.Venue)
+			v, err := b.InternVenue(rec.Venue, rec.Venue)
 			if err != nil {
 				return nil, fmt.Errorf("corpus: line %d: %w", line, err)
 			}
@@ -96,13 +97,13 @@ func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) {
 		}
 		authors := make([]AuthorID, 0, len(rec.Authors))
 		for _, ak := range rec.Authors {
-			a, err := s.InternAuthor(ak, ak)
+			a, err := b.InternAuthor(ak, ak)
 			if err != nil {
 				return nil, fmt.Errorf("corpus: line %d: %w", line, err)
 			}
 			authors = append(authors, a)
 		}
-		id, err := s.AddArticle(ArticleMeta{
+		id, err := b.AddArticle(ArticleMeta{
 			Key: rec.ID, Title: rec.Title, Year: rec.Year,
 			Venue: venue, Authors: authors,
 		})
@@ -118,18 +119,18 @@ func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) {
 	}
 	for _, p := range todo {
 		for _, key := range p.refs {
-			to, ok := s.ArticleByKey(key)
+			to, ok := b.ArticleByKey(key)
 			if !ok {
 				if opts.AllowDanglingRefs {
 					continue
 				}
 				return nil, fmt.Errorf("%w: %q cited by %q",
-					ErrUnknownRef, key, s.Article(p.from).Key)
+					ErrUnknownRef, key, b.Article(p.from).Key)
 			}
-			if err := s.AddCitation(p.from, to); err != nil {
+			if err := b.AddCitation(p.from, to); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return s, nil
+	return b.Freeze(), nil
 }

@@ -1,17 +1,27 @@
-// Package corpus models a scholarly corpus: articles with publication
-// years, authors, venues, and the citation relation between articles.
-// It is the in-memory substrate that stands in for bibliographic dumps
-// such as AMiner or the Microsoft Academic Graph, with the same
-// essential schema.
+// Package corpus models a scholarly corpus — articles with
+// publication years, authors, venues, and the citation relation —
+// split into a mutable Builder and an immutable columnar Store.
 //
-// A Store interns external string keys into dense int32 indices; all
-// ranking code operates on the dense indices, and the Store is the
-// single owner of the mapping back to keys.
+// The Builder holds the classic record-oriented representation
+// (articles with per-row slices, plus string interning maps) and is
+// where all validation lives. Builder.Freeze packs it into a Store:
+// one flat string arena for every key, title and name, int64 offset
+// columns delimiting each string, CSR offset+data columns for the
+// authorship, venue and citation relations, and dense year/venue
+// arrays. The Store is safe for any number of concurrent readers and
+// is what every downstream layer (hetnet, core, serve) reads —
+// hetnet builds its bipartite layers by aliasing the columns instead
+// of re-deriving them. Store.Thaw reopens a frozen corpus as a
+// Builder for delta ingest (the old deep Clone).
+//
+// Stores round-trip losslessly through the SCORP binary file format
+// (see scorp.go), a direct sectioned dump of the columns that loads
+// without parsing any text.
 package corpus
 
 import (
 	"errors"
-	"fmt"
+	"sync"
 
 	"scholarrank/internal/graph"
 )
@@ -30,7 +40,7 @@ type (
 // NoVenue marks an article without a publication venue.
 const NoVenue VenueID = -1
 
-// Sentinel errors returned by Store mutations.
+// Sentinel errors returned by Builder mutations and file readers.
 var (
 	ErrDuplicateKey = errors.New("corpus: duplicate article key")
 	ErrEmptyKey     = errors.New("corpus: empty key")
@@ -40,7 +50,9 @@ var (
 )
 
 // Article is one scholarly article. Refs holds the outgoing citations
-// (articles this one cites) as dense indices.
+// (articles this one cites) as dense indices. Views returned by
+// Store.Article alias frozen column storage: the Authors and Refs
+// slices must be treated as read-only.
 type Article struct {
 	Key     string
 	Title   string
@@ -62,71 +74,6 @@ type Venue struct {
 	Name string
 }
 
-// Store holds a corpus. The zero value is not usable; call NewStore.
-// A Store is not safe for concurrent mutation; once fully built it is
-// safe for concurrent readers.
-type Store struct {
-	articles    []Article
-	byKey       map[string]ArticleID
-	authors     []Author
-	authorByKey map[string]AuthorID
-	venues      []Venue
-	venueByKey  map[string]VenueID
-	citations   int
-}
-
-// NewStore returns an empty corpus.
-func NewStore() *Store {
-	return &Store{
-		byKey:       make(map[string]ArticleID),
-		authorByKey: make(map[string]AuthorID),
-		venueByKey:  make(map[string]VenueID),
-	}
-}
-
-// NumArticles returns the number of articles.
-func (s *Store) NumArticles() int { return len(s.articles) }
-
-// NumAuthors returns the number of interned authors.
-func (s *Store) NumAuthors() int { return len(s.authors) }
-
-// NumVenues returns the number of interned venues.
-func (s *Store) NumVenues() int { return len(s.venues) }
-
-// NumCitations returns the number of citation edges added (before any
-// deduplication performed by CitationGraph).
-func (s *Store) NumCitations() int { return s.citations }
-
-// InternAuthor returns the AuthorID for key, creating the author on
-// first sight. The name is recorded only on creation.
-func (s *Store) InternAuthor(key, name string) (AuthorID, error) {
-	if key == "" {
-		return 0, ErrEmptyKey
-	}
-	if id, ok := s.authorByKey[key]; ok {
-		return id, nil
-	}
-	id := AuthorID(len(s.authors))
-	s.authors = append(s.authors, Author{Key: key, Name: name})
-	s.authorByKey[key] = id
-	return id, nil
-}
-
-// InternVenue returns the VenueID for key, creating the venue on
-// first sight.
-func (s *Store) InternVenue(key, name string) (VenueID, error) {
-	if key == "" {
-		return 0, ErrEmptyKey
-	}
-	if id, ok := s.venueByKey[key]; ok {
-		return id, nil
-	}
-	id := VenueID(len(s.venues))
-	s.venues = append(s.venues, Venue{Key: key, Name: name})
-	s.venueByKey[key] = id
-	return id, nil
-}
-
 // ArticleMeta describes an article to add. Venue may be NoVenue;
 // Authors may be empty.
 type ArticleMeta struct {
@@ -137,77 +84,149 @@ type ArticleMeta struct {
 	Authors []AuthorID
 }
 
-// AddArticle appends an article and returns its dense id.
-func (s *Store) AddArticle(m ArticleMeta) (ArticleID, error) {
-	if m.Key == "" {
-		return 0, ErrEmptyKey
-	}
-	if _, ok := s.byKey[m.Key]; ok {
-		return 0, fmt.Errorf("%w: %q", ErrDuplicateKey, m.Key)
-	}
-	if m.Year <= 0 {
-		return 0, fmt.Errorf("%w: %d for %q", ErrBadYear, m.Year, m.Key)
-	}
-	if m.Venue != NoVenue && (m.Venue < 0 || int(m.Venue) >= len(s.venues)) {
-		return 0, fmt.Errorf("%w: venue %d", ErrBadID, m.Venue)
-	}
-	for _, a := range m.Authors {
-		if a < 0 || int(a) >= len(s.authors) {
-			return 0, fmt.Errorf("%w: author %d", ErrBadID, a)
-		}
-	}
-	id := ArticleID(len(s.articles))
-	s.articles = append(s.articles, Article{
-		Key:     m.Key,
-		Title:   m.Title,
-		Year:    m.Year,
-		Venue:   m.Venue,
-		Authors: append([]AuthorID(nil), m.Authors...),
-	})
-	s.byKey[m.Key] = id
-	return id, nil
+// Store is an immutable, columnar corpus. All strings live in a
+// single arena; each logical string column is a contiguous arena
+// range delimited by an (n+1)-element offset array. Relations are CSR
+// pairs: an offset array indexed by source id plus a flat target-id
+// array. Stores are produced by Builder.Freeze or the file readers;
+// the zero value is an empty corpus with no lookup capability.
+//
+// A Store is safe for concurrent use by any number of readers: the
+// only internal mutability is the lazily built key→id article lookup
+// map, guarded by sync.Once.
+type Store struct {
+	arena string
+
+	// Article columns: (n+1)-offset string columns and dense arrays.
+	artKeyOff   []int64
+	artTitleOff []int64
+	years       []int32
+	venueOf     []VenueID
+
+	// Article→authors and article→references CSR. refs keeps
+	// duplicate citations exactly as added, so NumCitations is
+	// len(refs); the citation graph merges duplicates into weights.
+	artAuthorOff []int64
+	artAuthors   []AuthorID
+	refOff       []int64
+	refs         []ArticleID
+
+	// Author columns and the author→articles CSR (rows in ascending
+	// article order, one entry per authorship).
+	authorKeyOff  []int64
+	authorNameOff []int64
+	authorArtOff  []int64
+	authorArts    []ArticleID
+
+	// Venue columns and the venue→articles CSR (rows in ascending
+	// article order).
+	venueKeyOff  []int64
+	venueNameOff []int64
+	venueArtOff  []int64
+	venueArts    []ArticleID
+
+	citations int
+
+	lookupOnce sync.Once
+	byKey      map[string]ArticleID
 }
 
-// AddCitation records that article from cites article to. Duplicate
-// citations are permitted here and merged when the citation graph is
-// built.
-func (s *Store) AddCitation(from, to ArticleID) error {
-	n := ArticleID(len(s.articles))
-	if from < 0 || from >= n || to < 0 || to >= n {
-		return fmt.Errorf("%w: citation %d->%d with %d articles", ErrBadID, from, to, n)
+func colLen(off []int64) int {
+	if len(off) == 0 {
+		return 0
 	}
-	if from == to {
-		return fmt.Errorf("%w: %q", ErrSelfCitation, s.articles[from].Key)
-	}
-	s.articles[from].Refs = append(s.articles[from].Refs, to)
-	s.citations++
-	return nil
+	return len(off) - 1
 }
 
-// Article returns the article with the given id. The pointer is into
-// Store-owned storage; callers must not hold it across mutations.
-func (s *Store) Article(id ArticleID) *Article {
-	return &s.articles[id]
+// NumArticles returns the number of articles.
+func (s *Store) NumArticles() int { return len(s.years) }
+
+// NumAuthors returns the number of interned authors.
+func (s *Store) NumAuthors() int { return colLen(s.authorKeyOff) }
+
+// NumVenues returns the number of interned venues.
+func (s *Store) NumVenues() int { return colLen(s.venueKeyOff) }
+
+// NumCitations returns the number of citation edges added (before any
+// deduplication performed by CitationGraph).
+func (s *Store) NumCitations() int { return s.citations }
+
+func (s *Store) str(off []int64, i int32) string {
+	return s.arena[off[i]:off[i+1]]
 }
 
-// ArticleByKey looks up an article by its external key.
+// Key returns the external key of article id.
+func (s *Store) Key(id ArticleID) string { return s.str(s.artKeyOff, id) }
+
+// Title returns the title of article id.
+func (s *Store) Title(id ArticleID) string { return s.str(s.artTitleOff, id) }
+
+// Year returns the publication year of article id.
+func (s *Store) Year(id ArticleID) int { return int(s.years[id]) }
+
+// VenueOf returns the venue of article id, or NoVenue.
+func (s *Store) VenueOf(id ArticleID) VenueID { return s.venueOf[id] }
+
+// Authors returns the author ids of article id. The slice aliases
+// frozen column storage (full slice expression, so appending copies)
+// and must not be modified in place.
+func (s *Store) Authors(id ArticleID) []AuthorID {
+	lo, hi := s.artAuthorOff[id], s.artAuthorOff[id+1]
+	return s.artAuthors[lo:hi:hi]
+}
+
+// Refs returns the citation targets recorded for article from,
+// including duplicates. The slice aliases frozen column storage and
+// must not be modified in place.
+func (s *Store) Refs(from ArticleID) []ArticleID {
+	lo, hi := s.refOff[from], s.refOff[from+1]
+	return s.refs[lo:hi:hi]
+}
+
+// Article materializes the row view for id. The Authors and Refs
+// slices alias store columns; treat them as read-only.
+func (s *Store) Article(id ArticleID) Article {
+	return Article{
+		Key:     s.Key(id),
+		Title:   s.Title(id),
+		Year:    int(s.years[id]),
+		Venue:   s.venueOf[id],
+		Authors: s.Authors(id),
+		Refs:    s.Refs(id),
+	}
+}
+
+// ArticleByKey looks up an article by its external key. The lookup
+// map is built lazily on first use — zero-parse boot keeps it off the
+// load path — and shared by all readers afterwards.
 func (s *Store) ArticleByKey(key string) (ArticleID, bool) {
+	s.lookupOnce.Do(func() {
+		m := make(map[string]ArticleID, s.NumArticles())
+		for i := 0; i < s.NumArticles(); i++ {
+			m[s.Key(ArticleID(i))] = ArticleID(i)
+		}
+		s.byKey = m
+	})
 	id, ok := s.byKey[key]
 	return id, ok
 }
 
 // Author returns the author record for id.
-func (s *Store) Author(id AuthorID) Author { return s.authors[id] }
+func (s *Store) Author(id AuthorID) Author {
+	return Author{Key: s.str(s.authorKeyOff, id), Name: s.str(s.authorNameOff, id)}
+}
 
 // Venue returns the venue record for id.
-func (s *Store) Venue(id VenueID) Venue { return s.venues[id] }
+func (s *Store) Venue(id VenueID) Venue {
+	return Venue{Key: s.str(s.venueKeyOff, id), Name: s.str(s.venueNameOff, id)}
+}
 
 // Years returns the publication year of every article as float64,
 // indexed by ArticleID. The slice is freshly allocated.
 func (s *Store) Years() []float64 {
-	out := make([]float64, len(s.articles))
-	for i := range s.articles {
-		out[i] = float64(s.articles[i].Year)
+	out := make([]float64, len(s.years))
+	for i, y := range s.years {
+		out[i] = float64(y)
 	}
 	return out
 }
@@ -215,34 +234,28 @@ func (s *Store) Years() []float64 {
 // YearRange returns the minimum and maximum publication year, or
 // (0, 0) for an empty corpus.
 func (s *Store) YearRange() (minYear, maxYear int) {
-	if len(s.articles) == 0 {
+	if len(s.years) == 0 {
 		return 0, 0
 	}
-	minYear, maxYear = s.articles[0].Year, s.articles[0].Year
-	for i := range s.articles {
-		y := s.articles[i].Year
-		if y < minYear {
-			minYear = y
+	mn, mx := s.years[0], s.years[0]
+	for _, y := range s.years[1:] {
+		if y < mn {
+			mn = y
 		}
-		if y > maxYear {
-			maxYear = y
+		if y > mx {
+			mx = y
 		}
 	}
-	return minYear, maxYear
+	return int(mn), int(mx)
 }
 
 // CitationGraph builds the article citation graph: an edge a->b means
 // article a cites article b. Duplicate citations collapse to a single
-// edge.
+// edge. The refs column is already CSR-shaped, so this skips the
+// general edge-list sort that graph.Builder performs.
 func (s *Store) CitationGraph() *graph.Graph {
-	b := graph.NewBuilder(len(s.articles), false)
-	for i := range s.articles {
-		for _, ref := range s.articles[i].Refs {
-			// Endpoints were validated by AddCitation.
-			_ = b.AddEdge(ArticleID(i), ref)
-		}
-	}
-	return b.Build()
+	// Endpoints were validated when the corpus was built or loaded.
+	return graph.FromCSRRows(s.NumArticles(), s.refOff, s.refs)
 }
 
 // TemporalViolations counts citations whose cited article is newer
@@ -250,10 +263,11 @@ func (s *Store) CitationGraph() *graph.Graph {
 // generator. A healthy corpus reports 0.
 func (s *Store) TemporalViolations() int {
 	var n int
-	for i := range s.articles {
-		y := s.articles[i].Year
-		for _, ref := range s.articles[i].Refs {
-			if s.articles[ref].Year > y {
+	for i := range s.years {
+		y := s.years[i]
+		lo, hi := s.refOff[i], s.refOff[i+1]
+		for _, ref := range s.refs[lo:hi] {
+			if s.years[ref] > y {
 				n++
 			}
 		}
@@ -261,48 +275,100 @@ func (s *Store) TemporalViolations() int {
 	return n
 }
 
-// VisitArticles calls fn for every article in id order.
+// VisitArticles calls fn for every article in id order. The pointer
+// refers to a single reused view struct: it and its slices (which
+// alias store columns) are only valid for the duration of the call.
 func (s *Store) VisitArticles(fn func(id ArticleID, a *Article)) {
-	for i := range s.articles {
-		fn(ArticleID(i), &s.articles[i])
+	var view Article
+	for i := 0; i < s.NumArticles(); i++ {
+		view = s.Article(ArticleID(i))
+		fn(ArticleID(i), &view)
 	}
 }
 
-// Refs returns the citation targets recorded for article from,
-// including duplicates. The slice aliases Store-owned storage and
-// must not be modified.
-func (s *Store) Refs(from ArticleID) []ArticleID {
-	return s.articles[from].Refs
-}
-
-// Clone returns a deep copy of the corpus. The copy shares no mutable
-// state with the original, so a live system can keep serving reads
-// from the original while a delta is applied to the clone — the
-// copy-on-write step behind atomic generation swaps.
-func (s *Store) Clone() *Store {
-	c := &Store{
-		articles:    make([]Article, len(s.articles)),
-		byKey:       make(map[string]ArticleID, len(s.byKey)),
-		authors:     append([]Author(nil), s.authors...),
-		authorByKey: make(map[string]AuthorID, len(s.authorByKey)),
-		venues:      append([]Venue(nil), s.venues...),
-		venueByKey:  make(map[string]VenueID, len(s.venueByKey)),
+// Thaw reopens the frozen store as a Builder so a delta can be
+// applied and the result re-frozen — the copy-on-write step behind
+// atomic generation swaps (this replaces the old deep Clone). The
+// builder's per-row slices alias store columns through full slice
+// expressions, so the first append to any row reallocates it: the
+// frozen store is never written through.
+func (s *Store) Thaw() *Builder {
+	nArt, nAuth, nVen := s.NumArticles(), s.NumAuthors(), s.NumVenues()
+	b := &Builder{
+		articles:    make([]Article, nArt),
+		byKey:       make(map[string]ArticleID, nArt),
+		authors:     make([]Author, nAuth),
+		authorByKey: make(map[string]AuthorID, nAuth),
+		venues:      make([]Venue, nVen),
+		venueByKey:  make(map[string]VenueID, nVen),
 		citations:   s.citations,
 	}
-	copy(c.articles, s.articles)
-	for i := range c.articles {
-		a := &c.articles[i]
-		a.Authors = append([]AuthorID(nil), a.Authors...)
-		a.Refs = append([]ArticleID(nil), a.Refs...)
+	for i := 0; i < nArt; i++ {
+		b.articles[i] = s.Article(ArticleID(i))
+		b.byKey[b.articles[i].Key] = ArticleID(i)
 	}
-	for k, v := range s.byKey {
-		c.byKey[k] = v
+	for i := 0; i < nAuth; i++ {
+		b.authors[i] = s.Author(AuthorID(i))
+		b.authorByKey[b.authors[i].Key] = AuthorID(i)
 	}
-	for k, v := range s.authorByKey {
-		c.authorByKey[k] = v
+	for i := 0; i < nVen; i++ {
+		b.venues[i] = s.Venue(VenueID(i))
+		b.venueByKey[b.venues[i].Key] = VenueID(i)
 	}
-	for k, v := range s.venueByKey {
-		c.venueByKey[k] = v
+	return b
+}
+
+// Bytes reports the resident size of the store's columns in bytes
+// (arena plus offset and id arrays; the lazy lookup map is excluded).
+// Serving exposes this as the corpus_bytes gauge.
+func (s *Store) Bytes() int64 {
+	n := int64(len(s.arena))
+	for _, off := range [][]int64{
+		s.artKeyOff, s.artTitleOff, s.artAuthorOff, s.refOff,
+		s.authorKeyOff, s.authorNameOff, s.authorArtOff,
+		s.venueKeyOff, s.venueNameOff, s.venueArtOff,
+	} {
+		n += 8 * int64(len(off))
 	}
-	return c
+	n += 4 * int64(len(s.years))
+	n += 4 * int64(len(s.venueOf))
+	n += 4 * int64(len(s.artAuthors))
+	n += 4 * int64(len(s.refs))
+	n += 4 * int64(len(s.authorArts))
+	n += 4 * int64(len(s.venueArts))
+	return n
+}
+
+// The column accessors below expose the frozen arrays to layers that
+// build directly on them (hetnet aliases these instead of re-walking
+// articles). Every returned slice is the store's own storage and is
+// read-only by contract.
+
+// YearColumn returns the dense year column (len NumArticles).
+func (s *Store) YearColumn() []int32 { return s.years }
+
+// VenueColumn returns the dense article→venue column (NoVenue for
+// venue-less articles).
+func (s *Store) VenueColumn() []VenueID { return s.venueOf }
+
+// ArticleAuthorsCSR returns the article→authors CSR pair.
+func (s *Store) ArticleAuthorsCSR() (offsets []int64, authors []AuthorID) {
+	return s.artAuthorOff, s.artAuthors
+}
+
+// RefsCSR returns the article→references CSR pair (duplicates kept).
+func (s *Store) RefsCSR() (offsets []int64, refs []ArticleID) {
+	return s.refOff, s.refs
+}
+
+// AuthorArticlesCSR returns the author→articles CSR pair, each row in
+// ascending article order.
+func (s *Store) AuthorArticlesCSR() (offsets []int64, articles []ArticleID) {
+	return s.authorArtOff, s.authorArts
+}
+
+// VenueArticlesCSR returns the venue→articles CSR pair, each row in
+// ascending article order.
+func (s *Store) VenueArticlesCSR() (offsets []int64, articles []ArticleID) {
+	return s.venueArtOff, s.venueArts
 }

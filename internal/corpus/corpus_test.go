@@ -6,43 +6,49 @@ import (
 	"testing"
 )
 
-// buildTiny returns a 3-article corpus:
+// buildTinyBuilder returns a 3-article corpus builder:
 //
 //	p0 (2000, venue v, authors a,b) <- p1 (2005, author a) <- p2 (2010)
 //	p2 also cites p0.
-func buildTiny(t *testing.T) *Store {
+func buildTinyBuilder(t *testing.T) *Builder {
 	t.Helper()
-	s := NewStore()
-	a, err := s.InternAuthor("a", "Alice")
+	b := NewBuilder()
+	a, err := b.InternAuthor("a", "Alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.InternAuthor("b", "Bob")
+	bo, err := b.InternAuthor("b", "Bob")
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := s.InternVenue("v", "ICDE")
+	v, err := b.InternVenue("v", "ICDE")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p0, err := s.AddArticle(ArticleMeta{Key: "p0", Title: "Seminal", Year: 2000, Venue: v, Authors: []AuthorID{a, b}})
+	p0, err := b.AddArticle(ArticleMeta{Key: "p0", Title: "Seminal", Year: 2000, Venue: v, Authors: []AuthorID{a, bo}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := s.AddArticle(ArticleMeta{Key: "p1", Year: 2005, Venue: NoVenue, Authors: []AuthorID{a}})
+	p1, err := b.AddArticle(ArticleMeta{Key: "p1", Year: 2005, Venue: NoVenue, Authors: []AuthorID{a}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := s.AddArticle(ArticleMeta{Key: "p2", Year: 2010, Venue: NoVenue})
+	p2, err := b.AddArticle(ArticleMeta{Key: "p2", Year: 2010, Venue: NoVenue})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range [][2]ArticleID{{p1, p0}, {p2, p1}, {p2, p0}} {
-		if err := s.AddCitation(c[0], c[1]); err != nil {
+		if err := b.AddCitation(c[0], c[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return s
+	return b
+}
+
+// buildTiny returns the frozen form of buildTinyBuilder.
+func buildTiny(t *testing.T) *Store {
+	t.Helper()
+	return buildTinyBuilder(t).Freeze()
 }
 
 func TestStoreCounts(t *testing.T) {
@@ -54,75 +60,75 @@ func TestStoreCounts(t *testing.T) {
 }
 
 func TestInternIdempotent(t *testing.T) {
-	s := NewStore()
-	a1, _ := s.InternAuthor("x", "X")
-	a2, _ := s.InternAuthor("x", "different name ignored")
+	b := NewBuilder()
+	a1, _ := b.InternAuthor("x", "X")
+	a2, _ := b.InternAuthor("x", "different name ignored")
 	if a1 != a2 {
 		t.Errorf("intern returned %d then %d", a1, a2)
 	}
-	if s.NumAuthors() != 1 {
-		t.Errorf("NumAuthors = %d", s.NumAuthors())
+	if b.NumAuthors() != 1 {
+		t.Errorf("NumAuthors = %d", b.NumAuthors())
 	}
-	if s.Author(a1).Name != "X" {
+	if s := b.Freeze(); s.Author(a1).Name != "X" {
 		t.Errorf("name overwritten: %q", s.Author(a1).Name)
 	}
 }
 
 func TestInternEmptyKey(t *testing.T) {
-	s := NewStore()
-	if _, err := s.InternAuthor("", "n"); !errors.Is(err, ErrEmptyKey) {
+	b := NewBuilder()
+	if _, err := b.InternAuthor("", "n"); !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := s.InternVenue("", "n"); !errors.Is(err, ErrEmptyKey) {
+	if _, err := b.InternVenue("", "n"); !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestAddArticleValidation(t *testing.T) {
-	s := NewStore()
-	if _, err := s.AddArticle(ArticleMeta{Key: "", Year: 2000}); !errors.Is(err, ErrEmptyKey) {
+	b := NewBuilder()
+	if _, err := b.AddArticle(ArticleMeta{Key: "", Year: 2000}); !errors.Is(err, ErrEmptyKey) {
 		t.Errorf("empty key: %v", err)
 	}
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 0}); !errors.Is(err, ErrBadYear) {
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Year: 0}); !errors.Is(err, ErrBadYear) {
 		t.Errorf("year 0: %v", err)
 	}
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: 5}); !errors.Is(err, ErrBadID) {
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: 5}); !errors.Is(err, ErrBadID) {
 		t.Errorf("bad venue: %v", err)
 	}
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: []AuthorID{9}}); !errors.Is(err, ErrBadID) {
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: []AuthorID{9}}); !errors.Is(err, ErrBadID) {
 		t.Errorf("bad author: %v", err)
 	}
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue}); err != nil {
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue}); err != nil {
 		t.Errorf("valid article rejected: %v", err)
 	}
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2001, Venue: NoVenue}); !errors.Is(err, ErrDuplicateKey) {
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Year: 2001, Venue: NoVenue}); !errors.Is(err, ErrDuplicateKey) {
 		t.Errorf("duplicate: %v", err)
 	}
 }
 
 func TestAddArticleCopiesAuthors(t *testing.T) {
-	s := NewStore()
-	a, _ := s.InternAuthor("a", "A")
+	b := NewBuilder()
+	a, _ := b.InternAuthor("a", "A")
 	authors := []AuthorID{a}
-	id, err := s.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: authors})
+	id, err := b.AddArticle(ArticleMeta{Key: "k", Year: 2000, Venue: NoVenue, Authors: authors})
 	if err != nil {
 		t.Fatal(err)
 	}
 	authors[0] = 99
-	if s.Article(id).Authors[0] != a {
+	if b.Article(id).Authors[0] != a {
 		t.Error("AddArticle aliased caller's author slice")
 	}
 }
 
 func TestAddCitationValidation(t *testing.T) {
-	s := buildTiny(t)
-	if err := s.AddCitation(0, 99); !errors.Is(err, ErrBadID) {
+	b := buildTinyBuilder(t)
+	if err := b.AddCitation(0, 99); !errors.Is(err, ErrBadID) {
 		t.Errorf("out of range: %v", err)
 	}
-	if err := s.AddCitation(-1, 0); !errors.Is(err, ErrBadID) {
+	if err := b.AddCitation(-1, 0); !errors.Is(err, ErrBadID) {
 		t.Errorf("negative: %v", err)
 	}
-	if err := s.AddCitation(1, 1); !errors.Is(err, ErrSelfCitation) {
+	if err := b.AddCitation(1, 1); !errors.Is(err, ErrSelfCitation) {
 		t.Errorf("self citation: %v", err)
 	}
 }
@@ -143,6 +149,12 @@ func TestLookups(t *testing.T) {
 	if s.Venue(0).Name != "ICDE" {
 		t.Errorf("venue name = %q", s.Venue(0).Name)
 	}
+	if s.Key(0) != "p0" || s.Title(0) != "Seminal" || s.Year(2) != 2010 {
+		t.Errorf("column accessors: key=%q title=%q year=%d", s.Key(0), s.Title(0), s.Year(2))
+	}
+	if s.VenueOf(0) != 0 || s.VenueOf(1) != NoVenue {
+		t.Errorf("VenueOf = %d, %d", s.VenueOf(0), s.VenueOf(1))
+	}
 }
 
 func TestYearsAndRange(t *testing.T) {
@@ -155,7 +167,7 @@ func TestYearsAndRange(t *testing.T) {
 	if lo != 2000 || hi != 2010 {
 		t.Errorf("YearRange = %d..%d", lo, hi)
 	}
-	empty := NewStore()
+	empty := NewBuilder().Freeze()
 	lo, hi = empty.YearRange()
 	if lo != 0 || hi != 0 {
 		t.Errorf("empty YearRange = %d..%d", lo, hi)
@@ -163,8 +175,8 @@ func TestYearsAndRange(t *testing.T) {
 }
 
 func TestCitationGraph(t *testing.T) {
-	s := buildTiny(t)
-	g := s.CitationGraph()
+	b := buildTinyBuilder(t)
+	g := b.Freeze().CitationGraph()
 	if g.NumNodes() != 3 || g.NumEdges() != 3 {
 		t.Fatalf("graph n=%d m=%d", g.NumNodes(), g.NumEdges())
 	}
@@ -172,10 +184,10 @@ func TestCitationGraph(t *testing.T) {
 		t.Error("missing citation edges")
 	}
 	// Duplicate citation collapses.
-	if err := s.AddCitation(2, 0); err != nil {
+	if err := b.AddCitation(2, 0); err != nil {
 		t.Fatal(err)
 	}
-	if g2 := s.CitationGraph(); g2.NumEdges() != 3 {
+	if g2 := b.Freeze().CitationGraph(); g2.NumEdges() != 3 {
 		t.Errorf("duplicate not collapsed: m=%d", g2.NumEdges())
 	}
 }
@@ -185,10 +197,55 @@ func TestTemporalViolations(t *testing.T) {
 	if v := s.TemporalViolations(); v != 0 {
 		t.Errorf("violations = %d, want 0", v)
 	}
-	// Make p0 (cited by both) newer than everything.
-	s.Article(0).Year = 2020
-	if v := s.TemporalViolations(); v != 2 {
+	// Rebuild with p0 (cited by both) newer than everything.
+	b := s.Thaw()
+	b.Article(0).Year = 2020
+	if v := b.Freeze().TemporalViolations(); v != 2 {
 		t.Errorf("violations = %d, want 2", v)
+	}
+}
+
+func TestVisitArticlesMatchesViews(t *testing.T) {
+	s := buildTiny(t)
+	var visited int
+	s.VisitArticles(func(id ArticleID, a *Article) {
+		visited++
+		want := s.Article(id)
+		if a.Key != want.Key || a.Year != want.Year || len(a.Refs) != len(want.Refs) {
+			t.Errorf("visit %d: %+v vs %+v", id, *a, want)
+		}
+	})
+	if visited != s.NumArticles() {
+		t.Errorf("visited %d of %d", visited, s.NumArticles())
+	}
+}
+
+func TestStoreColumnInvariants(t *testing.T) {
+	s := buildTiny(t)
+	if err := s.validate(); err != nil {
+		t.Fatalf("frozen store fails validation: %v", err)
+	}
+	aOff, aIDs := s.ArticleAuthorsCSR()
+	if len(aOff) != s.NumArticles()+1 || int(aOff[len(aOff)-1]) != len(aIDs) {
+		t.Errorf("article-author CSR shape: %d offsets, %d ids", len(aOff), len(aIDs))
+	}
+	if got := s.Authors(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Authors(0) = %v", got)
+	}
+	uOff, uArts := s.AuthorArticlesCSR()
+	if len(uOff) != s.NumAuthors()+1 {
+		t.Fatalf("author offsets len %d", len(uOff))
+	}
+	// Author a wrote p0 and p1, in ascending article order.
+	if row := uArts[uOff[0]:uOff[1]]; len(row) != 2 || row[0] != 0 || row[1] != 1 {
+		t.Errorf("author a articles = %v", row)
+	}
+	vOff, vArts := s.VenueArticlesCSR()
+	if row := vArts[vOff[0]:vOff[1]]; len(row) != 1 || row[0] != 0 {
+		t.Errorf("venue v articles = %v", row)
+	}
+	if s.Bytes() <= 0 {
+		t.Errorf("Bytes = %d", s.Bytes())
 	}
 }
 
@@ -256,7 +313,7 @@ func assertSameCorpus(t *testing.T, want, got *Store) {
 			t.Errorf("%q ref count %d vs %d", wa.Key, len(ga.Refs), len(wa.Refs))
 		} else {
 			for i := range wa.Refs {
-				if got.Article(ga.Refs[i]).Key != want.Article(wa.Refs[i]).Key {
+				if got.Key(ga.Refs[i]) != want.Key(wa.Refs[i]) {
 					t.Errorf("%q ref %d differs", wa.Key, i)
 				}
 			}
@@ -312,12 +369,12 @@ func TestReadJSONLSkipsBlankLines(t *testing.T) {
 }
 
 func TestTSVTitleSanitised(t *testing.T) {
-	s := NewStore()
-	if _, err := s.AddArticle(ArticleMeta{Key: "k", Title: "bad\ttitle\nhere", Year: 2001, Venue: NoVenue}); err != nil {
+	b := NewBuilder()
+	if _, err := b.AddArticle(ArticleMeta{Key: "k", Title: "bad\ttitle\nhere", Year: 2001, Venue: NoVenue}); err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := WriteTSV(&sb, s); err != nil {
+	if err := WriteTSV(&sb, b.Freeze()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadTSV(strings.NewReader(sb.String()), ReadOptions{})
@@ -352,14 +409,25 @@ func TestTSVUnknownRef(t *testing.T) {
 	}
 }
 
-func TestCloneIndependent(t *testing.T) {
+// TestThawIndependent is the Clone-aliasing regression test: a thawed
+// builder shares column storage with the frozen store through
+// copy-on-append slices, so every mutation path (interning, adding
+// articles, appending refs to an existing article) must leave the
+// original store byte-for-byte untouched.
+func TestThawIndependent(t *testing.T) {
 	s := buildTiny(t)
-	c := s.Clone()
+	c := s.Thaw()
 	if c.NumArticles() != s.NumArticles() || c.NumCitations() != s.NumCitations() ||
 		c.NumAuthors() != s.NumAuthors() || c.NumVenues() != s.NumVenues() {
-		t.Fatalf("clone counts differ: %d/%d/%d/%d", c.NumArticles(), c.NumCitations(), c.NumAuthors(), c.NumVenues())
+		t.Fatalf("thaw counts differ: %d/%d/%d/%d", c.NumArticles(), c.NumCitations(), c.NumAuthors(), c.NumVenues())
 	}
-	// Mutate the clone: new author, new article, new citation into p0.
+	// Snapshot the original's aliased rows before mutating the thawed copy.
+	p1RefsBefore := append([]ArticleID(nil), s.Refs(1)...)
+	p0AuthorsBefore := append([]AuthorID(nil), s.Authors(0)...)
+
+	// Mutate the thawed builder: new author, new article, new citation
+	// into p0, and a ref append on an existing article (the classic
+	// shared-slice hazard).
 	au, err := c.InternAuthor("z", "Zoe")
 	if err != nil {
 		t.Fatal(err)
@@ -375,17 +443,37 @@ func TestCloneIndependent(t *testing.T) {
 	if err := c.AddCitation(1, 0); err != nil { // grow an existing article's refs
 		t.Fatal(err)
 	}
+	c.Article(2).Year = 1999 // scalar rewrite on an existing article
+
 	if s.NumArticles() != 3 || s.NumAuthors() != 2 || s.NumCitations() != 3 {
 		t.Errorf("original mutated: %d articles, %d authors, %d citations",
 			s.NumArticles(), s.NumAuthors(), s.NumCitations())
 	}
-	if len(s.Refs(1)) != 1 {
-		t.Errorf("original refs(p1) = %v", s.Refs(1))
+	if got := s.Refs(1); len(got) != len(p1RefsBefore) || got[0] != p1RefsBefore[0] {
+		t.Errorf("original refs(p1) = %v, want %v", got, p1RefsBefore)
+	}
+	if got := s.Authors(0); len(got) != len(p0AuthorsBefore) {
+		t.Errorf("original authors(p0) = %v, want %v", got, p0AuthorsBefore)
+	}
+	if s.Year(2) != 2010 {
+		t.Errorf("original year(p2) = %d, want 2010", s.Year(2))
 	}
 	if _, ok := s.ArticleByKey("p3"); ok {
-		t.Error("original sees clone's article")
+		t.Error("original sees thawed builder's article")
 	}
 	if c.NumArticles() != 4 || c.NumCitations() != 5 {
-		t.Errorf("clone counts after mutation: %d/%d", c.NumArticles(), c.NumCitations())
+		t.Errorf("thawed counts after mutation: %d/%d", c.NumArticles(), c.NumCitations())
+	}
+	// Re-freezing the mutated builder must produce a valid store that
+	// still leaves the original untouched.
+	s2 := c.Freeze()
+	if err := s2.validate(); err != nil {
+		t.Fatalf("refrozen store invalid: %v", err)
+	}
+	if s2.NumArticles() != 4 || s.NumArticles() != 3 {
+		t.Errorf("articles after refreeze: new=%d old=%d", s2.NumArticles(), s.NumArticles())
+	}
+	if len(s.Refs(1)) != 1 || len(s2.Refs(1)) != 2 {
+		t.Errorf("refs(p1): old=%v new=%v", s.Refs(1), s2.Refs(1))
 	}
 }

@@ -1,0 +1,406 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SCORP is the on-disk corpus format: a sectioned, checksummed binary
+// dump of the Store columns, so a replica boots by copying arrays
+// instead of parsing text. Layout (all integers little-endian):
+//
+//	magic "SCORP" | version byte | 2 reserved bytes | u32 sectionCount
+//	sectionCount × { tag [4]byte | u64 offset | u64 length | u32 crc32 }
+//	section payloads (offsets are absolute file offsets)
+//
+// Each section's CRC-32 (IEEE) covers its payload bytes, so a
+// truncated or bit-flipped file is rejected section-by-section. The
+// section table makes the format extensible: readers locate sections
+// by tag, ignore unknown tags, and fail only on a missing required
+// section — versioning rules mirror the SRNKS ranking snapshot.
+//
+// Sections of version 1 (counts live in "meta"; every array section's
+// byte length is cross-checked against the counts before decoding):
+//
+//	meta  4×u64: articles, authors, venues, citations
+//	arna  string arena bytes
+//	akof/atof   article key/title offsets   (articles+1)×i64
+//	yrsc  years        articles×i32
+//	vnuc  venues-of    articles×i32 (NoVenue = -1)
+//	aaof/aaid   article→author CSR          offsets + author ids
+//	refo/refi   article→reference CSR       offsets + article ids
+//	ukof/unof   author key/name offsets     (authors+1)×i64
+//	uaof/uaid   author→articles CSR
+//	vkof/vnof   venue key/name offsets      (venues+1)×i64
+//	vaof/vaid   venue→articles CSR
+const (
+	scorpMagic   = "SCORP"
+	scorpVersion = 1
+	// scorpMaxSections bounds the section table so a hostile header
+	// cannot demand an enormous allocation.
+	scorpMaxSections = 256
+	scorpEntryLen    = 4 + 8 + 8 + 4
+	scorpHeaderLen   = len(scorpMagic) + 1 + 2 + 4
+)
+
+// SCORP reader errors.
+var (
+	ErrBadCorpus     = fmt.Errorf("corpus: malformed SCORP file")
+	ErrCorpusCRC     = fmt.Errorf("corpus: SCORP section checksum mismatch")
+	ErrCorpusVersion = fmt.Errorf("corpus: unsupported SCORP version")
+)
+
+var scorpSectionOrder = []string{
+	"meta", "arna",
+	"akof", "atof", "yrsc", "vnuc",
+	"aaof", "aaid", "refo", "refi",
+	"ukof", "unof", "uaof", "uaid",
+	"vkof", "vnof", "vaof", "vaid",
+}
+
+func encodeI64s(xs []int64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+	}
+	return buf
+}
+
+func encodeI32s(xs []int32) []byte {
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(x))
+	}
+	return buf
+}
+
+func decodeI64s(buf []byte) []int64 {
+	xs := make([]int64, len(buf)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs
+}
+
+func decodeI32s(buf []byte) []int32 {
+	xs := make([]int32, len(buf)/4)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return xs
+}
+
+// scorpSections maps a store to its section payloads in file order.
+func scorpSections(s *Store) map[string][]byte {
+	meta := make([]byte, 32)
+	binary.LittleEndian.PutUint64(meta[0:], uint64(s.NumArticles()))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(s.NumAuthors()))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(s.NumVenues()))
+	binary.LittleEndian.PutUint64(meta[24:], uint64(s.citations))
+	return map[string][]byte{
+		"meta": meta,
+		"arna": []byte(s.arena),
+		"akof": encodeI64s(s.artKeyOff),
+		"atof": encodeI64s(s.artTitleOff),
+		"yrsc": encodeI32s(s.years),
+		"vnuc": encodeI32s(s.venueOf),
+		"aaof": encodeI64s(s.artAuthorOff),
+		"aaid": encodeI32s(s.artAuthors),
+		"refo": encodeI64s(s.refOff),
+		"refi": encodeI32s(s.refs),
+		"ukof": encodeI64s(s.authorKeyOff),
+		"unof": encodeI64s(s.authorNameOff),
+		"uaof": encodeI64s(s.authorArtOff),
+		"uaid": encodeI32s(s.authorArts),
+		"vkof": encodeI64s(s.venueKeyOff),
+		"vnof": encodeI64s(s.venueNameOff),
+		"vaof": encodeI64s(s.venueArtOff),
+		"vaid": encodeI32s(s.venueArts),
+	}
+}
+
+// WriteSCORP encodes the store in SCORP format.
+func WriteSCORP(w io.Writer, s *Store) error {
+	sections := scorpSections(s)
+	header := make([]byte, 0, scorpHeaderLen+len(scorpSectionOrder)*scorpEntryLen)
+	header = append(header, scorpMagic...)
+	header = append(header, scorpVersion, 0, 0)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(scorpSectionOrder)))
+	offset := uint64(scorpHeaderLen + len(scorpSectionOrder)*scorpEntryLen)
+	for _, tag := range scorpSectionOrder {
+		payload := sections[tag]
+		header = append(header, tag...)
+		header = binary.LittleEndian.AppendUint64(header, offset)
+		header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
+		header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(payload))
+		offset += uint64(len(payload))
+	}
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("corpus: write SCORP header: %w", err)
+	}
+	for _, tag := range scorpSectionOrder {
+		if _, err := w.Write(sections[tag]); err != nil {
+			return fmt.Errorf("corpus: write SCORP section %q: %w", tag, err)
+		}
+	}
+	return nil
+}
+
+// ReadSCORP decodes a SCORP corpus from r.
+func ReadSCORP(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: read SCORP: %w", err)
+	}
+	return DecodeSCORP(data)
+}
+
+// DecodeSCORP decodes a SCORP corpus from an in-memory image. The
+// returned store does not retain data.
+func DecodeSCORP(data []byte) (*Store, error) {
+	if len(data) < scorpHeaderLen || string(data[:len(scorpMagic)]) != scorpMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCorpus)
+	}
+	if v := data[len(scorpMagic)]; v != scorpVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorpusVersion, v)
+	}
+	count := binary.LittleEndian.Uint32(data[len(scorpMagic)+3:])
+	if count > scorpMaxSections {
+		return nil, fmt.Errorf("%w: %d sections", ErrBadCorpus, count)
+	}
+	tableEnd := scorpHeaderLen + int(count)*scorpEntryLen
+	if len(data) < tableEnd {
+		return nil, fmt.Errorf("%w: truncated section table", ErrBadCorpus)
+	}
+	sections := make(map[string][]byte, count)
+	for i := 0; i < int(count); i++ {
+		entry := data[scorpHeaderLen+i*scorpEntryLen:]
+		tag := string(entry[:4])
+		off := binary.LittleEndian.Uint64(entry[4:])
+		length := binary.LittleEndian.Uint64(entry[12:])
+		crc := binary.LittleEndian.Uint32(entry[20:])
+		if off < uint64(tableEnd) || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %q out of bounds", ErrBadCorpus, tag)
+		}
+		payload := data[off : off+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, fmt.Errorf("%w: section %q", ErrCorpusCRC, tag)
+		}
+		sections[tag] = payload
+	}
+
+	meta, ok := sections["meta"]
+	if !ok || len(meta) != 32 {
+		return nil, fmt.Errorf("%w: missing meta section", ErrBadCorpus)
+	}
+	nArt := binary.LittleEndian.Uint64(meta[0:])
+	nAuth := binary.LittleEndian.Uint64(meta[8:])
+	nVen := binary.LittleEndian.Uint64(meta[16:])
+	citations := binary.LittleEndian.Uint64(meta[24:])
+	const maxCount = 1 << 31
+	if nArt > maxCount || nAuth > maxCount || nVen > maxCount || citations > maxCount {
+		return nil, fmt.Errorf("%w: counts out of range", ErrBadCorpus)
+	}
+
+	arena, ok := sections["arna"]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing arna section", ErrBadCorpus)
+	}
+	offsetCol := func(tag string, n uint64) ([]int64, error) {
+		sec, ok := sections[tag]
+		if !ok || uint64(len(sec)) != (n+1)*8 {
+			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, tag, len(sec), (n+1)*8)
+		}
+		return decodeI64s(sec), nil
+	}
+	denseCol := func(tag string, n uint64) ([]int32, error) {
+		sec, ok := sections[tag]
+		if !ok || uint64(len(sec)) != n*4 {
+			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, tag, len(sec), n*4)
+		}
+		return decodeI32s(sec), nil
+	}
+
+	s := &Store{arena: string(arena), citations: int(citations)}
+	var err error
+	load := func(dst *[]int64, tag string, n uint64) {
+		if err == nil {
+			*dst, err = offsetCol(tag, n)
+		}
+	}
+	loadDense := func(dst *[]int32, tag string, n uint64) {
+		if err == nil {
+			*dst, err = denseCol(tag, n)
+		}
+	}
+	load(&s.artKeyOff, "akof", nArt)
+	load(&s.artTitleOff, "atof", nArt)
+	loadDense(&s.years, "yrsc", nArt)
+	loadDense(&s.venueOf, "vnuc", nArt)
+	load(&s.artAuthorOff, "aaof", nArt)
+	load(&s.refOff, "refo", nArt)
+	load(&s.authorKeyOff, "ukof", nAuth)
+	load(&s.authorNameOff, "unof", nAuth)
+	load(&s.authorArtOff, "uaof", nAuth)
+	load(&s.venueKeyOff, "vkof", nVen)
+	load(&s.venueNameOff, "vnof", nVen)
+	load(&s.venueArtOff, "vaof", nVen)
+	if err != nil {
+		return nil, err
+	}
+	csrIDs := func(tag string, off []int64) ([]int32, error) {
+		last := off[len(off)-1]
+		if last < 0 || uint64(last) > maxCount {
+			return nil, fmt.Errorf("%w: section %q id count %d", ErrBadCorpus, tag, last)
+		}
+		return denseCol(tag, uint64(last))
+	}
+	if s.artAuthors, err = csrIDs("aaid", s.artAuthorOff); err != nil {
+		return nil, err
+	}
+	if s.refs, err = csrIDs("refi", s.refOff); err != nil {
+		return nil, err
+	}
+	if s.authorArts, err = csrIDs("uaid", s.authorArtOff); err != nil {
+		return nil, err
+	}
+	if s.venueArts, err = csrIDs("vaid", s.venueArtOff); err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks every structural invariant the accessors rely on,
+// so a Store decoded from an untrusted file can never index out of
+// bounds. Semantic checks (positive years, no self-citations) match
+// what the Builder enforces at construction time.
+func (s *Store) validate() error {
+	arenaLen := int64(len(s.arena))
+	stringCol := func(tag string, off []int64) error {
+		if off[0] < 0 || off[len(off)-1] > arenaLen {
+			return fmt.Errorf("%w: %s offsets outside arena", ErrBadCorpus, tag)
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] < off[i-1] {
+				return fmt.Errorf("%w: %s offsets not monotone at %d", ErrBadCorpus, tag, i)
+			}
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		tag string
+		off []int64
+	}{
+		{"article key", s.artKeyOff}, {"article title", s.artTitleOff},
+		{"author key", s.authorKeyOff}, {"author name", s.authorNameOff},
+		{"venue key", s.venueKeyOff}, {"venue name", s.venueNameOff},
+	} {
+		if err := stringCol(c.tag, c.off); err != nil {
+			return err
+		}
+	}
+	csr := func(tag string, off []int64, ids []int32, idRange int) error {
+		if off[0] != 0 || off[len(off)-1] != int64(len(ids)) {
+			return fmt.Errorf("%w: %s CSR spans [%d,%d] over %d ids",
+				ErrBadCorpus, tag, off[0], off[len(off)-1], len(ids))
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] < off[i-1] {
+				return fmt.Errorf("%w: %s CSR not monotone at %d", ErrBadCorpus, tag, i)
+			}
+		}
+		for _, id := range ids {
+			if int(id) < 0 || int(id) >= idRange {
+				return fmt.Errorf("%w: %s id %d with range %d", ErrBadCorpus, tag, id, idRange)
+			}
+		}
+		return nil
+	}
+	nArt, nAuth, nVen := s.NumArticles(), s.NumAuthors(), s.NumVenues()
+	if err := csr("article-author", s.artAuthorOff, s.artAuthors, nAuth); err != nil {
+		return err
+	}
+	if err := csr("reference", s.refOff, s.refs, nArt); err != nil {
+		return err
+	}
+	if err := csr("author-article", s.authorArtOff, s.authorArts, nArt); err != nil {
+		return err
+	}
+	if err := csr("venue-article", s.venueArtOff, s.venueArts, nArt); err != nil {
+		return err
+	}
+	if s.citations != len(s.refs) {
+		return fmt.Errorf("%w: %d citations with %d references", ErrBadCorpus, s.citations, len(s.refs))
+	}
+	for i := 0; i < nArt; i++ {
+		if s.years[i] <= 0 {
+			return fmt.Errorf("%w: article %d year %d", ErrBadYear, i, s.years[i])
+		}
+		if v := s.venueOf[i]; v != NoVenue && (v < 0 || int(v) >= nVen) {
+			return fmt.Errorf("%w: article %d venue %d", ErrBadID, i, v)
+		}
+		if s.artKeyOff[i] == s.artKeyOff[i+1] {
+			return fmt.Errorf("%w: article %d", ErrEmptyKey, i)
+		}
+		for _, ref := range s.refs[s.refOff[i]:s.refOff[i+1]] {
+			if int(ref) == i {
+				return fmt.Errorf("%w: article %d", ErrSelfCitation, i)
+			}
+		}
+	}
+	for i := 0; i < nAuth; i++ {
+		if s.authorKeyOff[i] == s.authorKeyOff[i+1] {
+			return fmt.Errorf("%w: author %d", ErrEmptyKey, i)
+		}
+	}
+	for i := 0; i < nVen; i++ {
+		if s.venueKeyOff[i] == s.venueKeyOff[i+1] {
+			return fmt.Errorf("%w: venue %d", ErrEmptyKey, i)
+		}
+	}
+	return nil
+}
+
+// WriteSCORPFile writes the store to path atomically: a temporary
+// sibling file is fsynced and renamed over the target, so a
+// concurrently booting reader never sees a half-written corpus (the
+// same discipline as live.WriteSnapshotFile).
+func WriteSCORPFile(path string, s *Store) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".corpus-*")
+	if err != nil {
+		return fmt.Errorf("corpus: SCORP temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSCORP(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("corpus: SCORP sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("corpus: SCORP close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("corpus: SCORP rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSCORPFile reads a corpus written by WriteSCORPFile.
+func ReadSCORPFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open SCORP: %w", err)
+	}
+	return DecodeSCORP(data)
+}

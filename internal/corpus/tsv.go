@@ -71,9 +71,10 @@ func sanitizeTitle(t string) string {
 }
 
 // ReadTSV decodes a corpus written by WriteTSV. Forward references
-// are resolved in a second pass, mirroring ReadJSONL.
+// are resolved in a second pass, mirroring ReadJSONL. The result is a
+// frozen columnar Store.
 func ReadTSV(r io.Reader, opts ReadOptions) (*Store, error) {
-	s := NewStore()
+	b := NewBuilder()
 	type pending struct {
 		from ArticleID
 		refs string
@@ -98,7 +99,7 @@ func ReadTSV(r io.Reader, opts ReadOptions) (*Store, error) {
 		}
 		venue := NoVenue
 		if parts[2] != "" {
-			v, err := s.InternVenue(parts[2], parts[2])
+			v, err := b.InternVenue(parts[2], parts[2])
 			if err != nil {
 				return nil, fmt.Errorf("corpus: tsv line %d: %w", line, err)
 			}
@@ -107,14 +108,14 @@ func ReadTSV(r io.Reader, opts ReadOptions) (*Store, error) {
 		var authors []AuthorID
 		if parts[3] != "" {
 			for _, ak := range strings.Split(parts[3], "|") {
-				a, err := s.InternAuthor(ak, ak)
+				a, err := b.InternAuthor(ak, ak)
 				if err != nil {
 					return nil, fmt.Errorf("corpus: tsv line %d: %w", line, err)
 				}
 				authors = append(authors, a)
 			}
 		}
-		id, err := s.AddArticle(ArticleMeta{
+		id, err := b.AddArticle(ArticleMeta{
 			Key: parts[0], Title: parts[5], Year: year,
 			Venue: venue, Authors: authors,
 		})
@@ -130,18 +131,18 @@ func ReadTSV(r io.Reader, opts ReadOptions) (*Store, error) {
 	}
 	for _, p := range todo {
 		for _, key := range strings.Split(p.refs, "|") {
-			to, ok := s.ArticleByKey(key)
+			to, ok := b.ArticleByKey(key)
 			if !ok {
 				if opts.AllowDanglingRefs {
 					continue
 				}
 				return nil, fmt.Errorf("%w: %q cited by %q",
-					ErrUnknownRef, key, s.Article(p.from).Key)
+					ErrUnknownRef, key, b.Article(p.from).Key)
 			}
-			if err := s.AddCitation(p.from, to); err != nil {
+			if err := b.AddCitation(p.from, to); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return s, nil
+	return b.Freeze(), nil
 }

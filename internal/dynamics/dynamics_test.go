@@ -10,9 +10,9 @@ import (
 )
 
 func TestCitationSeries(t *testing.T) {
-	s := corpus.NewStore()
+	b := corpus.NewBuilder()
 	add := func(key string, year int) corpus.ArticleID {
-		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: year, Venue: corpus.NoVenue})
+		id, err := b.AddArticle(corpus.ArticleMeta{Key: key, Year: year, Venue: corpus.NoVenue})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -22,17 +22,17 @@ func TestCitationSeries(t *testing.T) {
 	mid := add("mid", 2005)
 	young := add("young", 2010)
 	// old is cited in 2005 (offset 5) and twice in 2010 (offset 10).
-	if err := s.AddCitation(mid, old); err != nil {
+	if err := b.AddCitation(mid, old); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddCitation(young, old); err != nil {
+	if err := b.AddCitation(young, old); err != nil {
 		t.Fatal(err)
 	}
 	// mid is cited in 2010 (offset 5).
-	if err := s.AddCitation(young, mid); err != nil {
+	if err := b.AddCitation(young, mid); err != nil {
 		t.Fatal(err)
 	}
-	series := CitationSeries(s)
+	series := CitationSeries(b.Freeze())
 	if len(series[old]) != 11 { // 2000..2010
 		t.Fatalf("old series length = %d", len(series[old]))
 	}

@@ -153,7 +153,7 @@ func Generate(cfg Config) (*Corpus, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 
 	// Latent entity factors.
 	talent := make([]float64, cfg.Authors)
@@ -328,7 +328,7 @@ func Generate(cfg Config) (*Corpus, error) {
 	}
 
 	return &Corpus{
-		Store:         s,
+		Store:         s.Freeze(),
 		Quality:       quality,
 		AuthorTalent:  talent,
 		VenuePrestige: prestige,

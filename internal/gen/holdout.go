@@ -32,7 +32,7 @@ type Holdout struct {
 
 // SplitByYear builds the temporal holdout at the given cutoff year.
 func SplitByYear(s *corpus.Store, cutoff int) (*Holdout, error) {
-	train := corpus.NewStore()
+	train := corpus.NewBuilder()
 	fullToTrain := make(map[corpus.ArticleID]corpus.ArticleID)
 	var fullID []corpus.ArticleID
 	var buildErr error
@@ -108,7 +108,7 @@ func SplitByYear(s *corpus.Store, cutoff int) (*Holdout, error) {
 	if buildErr != nil {
 		return nil, buildErr
 	}
-	return &Holdout{Train: train, FullID: fullID, FutureCites: future, Cutoff: cutoff}, nil
+	return &Holdout{Train: train.Freeze(), FullID: fullID, FutureCites: future, Cutoff: cutoff}, nil
 }
 
 // MapToTrain projects a per-article vector of the full corpus (such
@@ -122,11 +122,11 @@ func (h *Holdout) MapToTrain(full []float64) []float64 {
 }
 
 // cloneEntities copies every author and venue of src into a fresh
-// store in id order, so entity ids (and any oracle vectors indexed by
-// them) stay aligned between the original and the clone — including
+// builder in id order, so entity ids (and any oracle vectors indexed
+// by them) stay aligned between the original and the copy — including
 // entities that currently have no articles.
-func cloneEntities(src *corpus.Store) (*corpus.Store, error) {
-	out := corpus.NewStore()
+func cloneEntities(src *corpus.Store) (*corpus.Builder, error) {
+	out := corpus.NewBuilder()
 	for i := 0; i < src.NumAuthors(); i++ {
 		a := src.Author(corpus.AuthorID(i))
 		if _, err := out.InternAuthor(a.Key, a.Name); err != nil {
@@ -194,5 +194,5 @@ func SampleCitations(s *corpus.Store, frac float64, rng *rand.Rand) (*corpus.Sto
 	if buildErr != nil {
 		return nil, buildErr
 	}
-	return out, nil
+	return out.Freeze(), nil
 }

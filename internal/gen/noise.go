@@ -68,5 +68,5 @@ func PerturbYears(s *corpus.Store, frac float64, maxShift int, rng *rand.Rand) (
 	if buildErr != nil {
 		return nil, buildErr
 	}
-	return out, nil
+	return out.Freeze(), nil
 }

@@ -88,10 +88,11 @@ func TestPerturbYearsValidation(t *testing.T) {
 }
 
 func TestPerturbYearsClampsAtOne(t *testing.T) {
-	s := corpus.NewStore()
-	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p", Year: 2, Venue: corpus.NoVenue}); err != nil {
+	b := corpus.NewBuilder()
+	if _, err := b.AddArticle(corpus.ArticleMeta{Key: "p", Year: 2, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
+	s := b.Freeze()
 	// With frac=1 and huge shifts, the year must never drop below 1.
 	for seed := int64(0); seed < 20; seed++ {
 		noisy, err := PerturbYears(s, 1, 1000, rand.New(rand.NewSource(seed)))

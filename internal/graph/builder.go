@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -102,6 +103,59 @@ func (b *Builder) Build() *Graph {
 	}
 	for i := 0; i < b.n; i++ {
 		g.offsets[i+1] += g.offsets[i]
+	}
+	return g
+}
+
+// FromCSRRows builds an unweighted graph directly from CSR-shaped
+// input: offsets is an (n+1)-element row delimiter array and dsts the
+// flat target array. Each row is sorted and deduplicated
+// independently — no global edge sort — which makes this much faster
+// than Builder.Build for input that is already grouped by source,
+// such as the corpus refs column. The input slices are not modified
+// and not retained.
+//
+// Endpoints must lie in [0, n) and offsets must be monotone with
+// offsets[0] == 0 and offsets[n] == len(dsts); FromCSRRows panics
+// otherwise, as such input indicates a corrupted caller invariant
+// (file loaders validate before constructing their stores).
+func FromCSRRows(n int, offsets []int64, dsts []NodeID) *Graph {
+	if n < 0 || len(offsets) != n+1 {
+		panic(fmt.Sprintf("graph: FromCSRRows offsets length %d for n=%d", len(offsets), n))
+	}
+	if n > 0 && (offsets[0] != 0 || offsets[n] != int64(len(dsts))) {
+		panic(fmt.Sprintf("graph: FromCSRRows offsets span [%d,%d] over %d targets",
+			offsets[0], offsets[n], len(dsts)))
+	}
+	g := &Graph{
+		n:       n,
+		offsets: make([]int64, n+1),
+		targets: make([]NodeID, 0, len(dsts)),
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		if hi < lo {
+			panic(fmt.Sprintf("graph: FromCSRRows offsets not monotone at row %d", u))
+		}
+		start := len(g.targets)
+		g.targets = append(g.targets, dsts[lo:hi]...)
+		row := g.targets[start:]
+		slices.Sort(row)
+		w := 0
+		prev := NodeID(-1)
+		for i, v := range row {
+			if int(v) < 0 || int(v) >= n {
+				panic(fmt.Sprintf("graph: FromCSRRows edge %d->%d with n=%d", u, v, n))
+			}
+			if i > 0 && v == prev {
+				continue
+			}
+			row[w] = v
+			w++
+			prev = v
+		}
+		g.targets = g.targets[:start+w]
+		g.offsets[u+1] = int64(len(g.targets))
 	}
 	return g
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestCoauthorGraph(t *testing.T) {
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	a, _ := s.InternAuthor("a", "A")
 	b, _ := s.InternAuthor("b", "B")
 	c, _ := s.InternAuthor("c", "C")
@@ -21,7 +21,7 @@ func TestCoauthorGraph(t *testing.T) {
 	add("p1", a, b)
 	add("p2", b, c)
 	add("p3", c)
-	net := Build(s)
+	net := Build(s.Freeze())
 	g := net.CoauthorGraph()
 	if g.NumNodes() != 3 {
 		t.Fatalf("nodes = %d", g.NumNodes())
@@ -45,12 +45,12 @@ func TestCoauthorGraph(t *testing.T) {
 }
 
 func TestCoauthorGraphSoloAuthorsOnly(t *testing.T) {
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	a, _ := s.InternAuthor("a", "A")
 	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p", Year: 2000, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{a}}); err != nil {
 		t.Fatal(err)
 	}
-	g := Build(s).CoauthorGraph()
+	g := Build(s.Freeze()).CoauthorGraph()
 	if g.NumEdges() != 0 {
 		t.Errorf("solo corpus has %d coauthor edges", g.NumEdges())
 	}

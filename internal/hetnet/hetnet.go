@@ -8,6 +8,7 @@
 package hetnet
 
 import (
+	"slices"
 	"sync"
 
 	"scholarrank/internal/corpus"
@@ -61,6 +62,11 @@ type Network struct {
 
 // Build indexes the corpus into a Network. The store must not be
 // mutated afterwards.
+//
+// The bipartite layers are not re-derived: the frozen Store already
+// holds the author→articles and venue→articles CSR columns, so Build
+// aliases them directly. Building a network over a loaded corpus is
+// therefore O(edges) for the citation operator only.
 func Build(s *corpus.Store) *Network {
 	n := &Network{
 		store:     s,
@@ -69,44 +75,8 @@ func Build(s *corpus.Store) *Network {
 	}
 	_, maxYear := s.YearRange()
 	n.Now = float64(maxYear)
-
-	nAuthors := s.NumAuthors()
-	nVenues := s.NumVenues()
-	authorCounts := make([]int64, nAuthors+1)
-	venueCounts := make([]int64, nVenues+1)
-	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-		for _, au := range a.Authors {
-			authorCounts[au+1]++
-		}
-		if a.Venue != corpus.NoVenue {
-			venueCounts[a.Venue+1]++
-		}
-	})
-	for i := 0; i < nAuthors; i++ {
-		authorCounts[i+1] += authorCounts[i]
-	}
-	for i := 0; i < nVenues; i++ {
-		venueCounts[i+1] += venueCounts[i]
-	}
-	n.authorOffsets = authorCounts
-	n.venueOffsets = venueCounts
-	n.authorArticles = make([]corpus.ArticleID, n.authorOffsets[nAuthors])
-	n.venueArticles = make([]corpus.ArticleID, n.venueOffsets[nVenues])
-
-	aCur := make([]int64, nAuthors)
-	vCur := make([]int64, nVenues)
-	copy(aCur, n.authorOffsets[:nAuthors])
-	copy(vCur, n.venueOffsets[:nVenues])
-	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-		for _, au := range a.Authors {
-			n.authorArticles[aCur[au]] = id
-			aCur[au]++
-		}
-		if a.Venue != corpus.NoVenue {
-			n.venueArticles[vCur[a.Venue]] = id
-			vCur[a.Venue]++
-		}
-	})
+	n.authorOffsets, n.authorArticles = s.AuthorArticlesCSR()
+	n.venueOffsets, n.venueArticles = s.VenueArticlesCSR()
 	return n
 }
 
@@ -152,31 +122,21 @@ func Grow(old *Network, s *corpus.Store) *Network {
 // sameEntityShape reports whether the store has exactly the entity
 // structure old was indexed from: equal article/author/venue counts
 // with unchanged per-article years, authors and venues. Citations are
-// deliberately not compared — they are what a delta changes.
+// deliberately not compared — they are what a delta changes. With
+// columnar stores this is four flat slice compares, no row iteration.
 func sameEntityShape(old *Network, s *corpus.Store) bool {
-	if s.NumArticles() != old.NumArticles() ||
-		s.NumAuthors() != old.NumAuthors() ||
-		s.NumVenues() != old.NumVenues() {
+	os := old.store
+	if s.NumArticles() != os.NumArticles() ||
+		s.NumAuthors() != os.NumAuthors() ||
+		s.NumVenues() != os.NumVenues() {
 		return false
 	}
-	same := true
-	s.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-		if !same {
-			return
-		}
-		if float64(a.Year) != old.Years[id] || a.Venue != old.store.Article(id).Venue ||
-			len(a.Authors) != len(old.store.Article(id).Authors) {
-			same = false
-			return
-		}
-		for i, au := range a.Authors {
-			if au != old.store.Article(id).Authors[i] {
-				same = false
-				return
-			}
-		}
-	})
-	return same
+	oldOff, oldAuthors := os.ArticleAuthorsCSR()
+	newOff, newAuthors := s.ArticleAuthorsCSR()
+	return slices.Equal(newOff, oldOff) &&
+		slices.Equal(newAuthors, oldAuthors) &&
+		slices.Equal(s.VenueColumn(), os.VenueColumn()) &&
+		slices.Equal(s.YearColumn(), os.YearColumn())
 }
 
 // Store returns the underlying corpus.
@@ -205,12 +165,12 @@ func (n *Network) VenueArticles(v corpus.VenueID) []corpus.ArticleID {
 
 // ArticleAuthors returns the authors of article p.
 func (n *Network) ArticleAuthors(p corpus.ArticleID) []corpus.AuthorID {
-	return n.store.Article(p).Authors
+	return n.store.Authors(p)
 }
 
 // ArticleVenue returns the venue of article p (corpus.NoVenue if none).
 func (n *Network) ArticleVenue(p corpus.ArticleID) corpus.VenueID {
-	return n.store.Article(p).Venue
+	return n.store.VenueOf(p)
 }
 
 // Age returns the age of article p in years at observation time Now.
@@ -229,16 +189,17 @@ func (n *Network) Age(p corpus.ArticleID) float64 {
 func (n *Network) CoauthorGraph() *graph.Graph {
 	n.coauthorOnce.Do(func() {
 		b := graph.NewBuilder(n.NumAuthors(), true)
-		n.store.VisitArticles(func(_ corpus.ArticleID, a *corpus.Article) {
-			for i := 0; i < len(a.Authors); i++ {
-				for j := i + 1; j < len(a.Authors); j++ {
+		for p := 0; p < n.NumArticles(); p++ {
+			authors := n.store.Authors(corpus.ArticleID(p))
+			for i := 0; i < len(authors); i++ {
+				for j := i + 1; j < len(authors); j++ {
 					// Builder merges duplicates by summing weights,
 					// so repeated collaborations accumulate.
-					_ = b.AddWeightedEdge(a.Authors[i], a.Authors[j], 1)
-					_ = b.AddWeightedEdge(a.Authors[j], a.Authors[i], 1)
+					_ = b.AddWeightedEdge(authors[i], authors[j], 1)
+					_ = b.AddWeightedEdge(authors[j], authors[i], 1)
 				}
 			}
-		})
+		}
 		n.coauthor = b.Build()
 	})
 	return n.coauthor
@@ -254,30 +215,24 @@ func (n *Network) ensurePullIndex() {
 
 // buildPullIndex is the ensurePullIndex body; Grow also calls it (via
 // the old network's once) so a grown network can copy the result.
+// The article→authors CSR and the venue column alias the store's
+// frozen columns; only the inverse-degree vectors and chunk plans are
+// computed here.
 func (n *Network) buildPullIndex() {
 	nArt := n.NumArticles()
-	n.artAuthorOff = make([]int64, nArt+1)
+	n.artAuthorOff, n.artAuthors = n.store.ArticleAuthorsCSR()
+	n.venueOf = n.store.VenueColumn()
 	n.invArtAuthors = make([]float64, nArt)
-	n.venueOf = make([]corpus.VenueID, nArt)
-	var total int64
-	n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-		n.artAuthorOff[id] = total
-		total += int64(len(a.Authors))
-		if len(a.Authors) > 0 {
-			n.invArtAuthors[id] = 1 / float64(len(a.Authors))
+	for p := 0; p < nArt; p++ {
+		if d := n.artAuthorOff[p+1] - n.artAuthorOff[p]; d > 0 {
+			n.invArtAuthors[p] = 1 / float64(d)
 		} else {
-			n.noAuthorArts = append(n.noAuthorArts, id)
+			n.noAuthorArts = append(n.noAuthorArts, corpus.ArticleID(p))
 		}
-		n.venueOf[id] = a.Venue
-		if a.Venue == corpus.NoVenue {
-			n.noVenueArts = append(n.noVenueArts, id)
+		if n.venueOf[p] == corpus.NoVenue {
+			n.noVenueArts = append(n.noVenueArts, corpus.ArticleID(p))
 		}
-	})
-	n.artAuthorOff[nArt] = total
-	n.artAuthors = make([]corpus.AuthorID, total)
-	n.store.VisitArticles(func(id corpus.ArticleID, a *corpus.Article) {
-		copy(n.artAuthors[n.artAuthorOff[id]:], a.Authors)
-	})
+	}
 
 	n.invAuthorArts = make([]float64, n.NumAuthors())
 	for a := range n.invAuthorArts {

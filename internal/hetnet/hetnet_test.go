@@ -16,7 +16,7 @@ import (
 //	venue/authors); p1->p0, p2->p1, p2->p0.
 func buildTiny(t testing.TB) *Network {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	a, _ := s.InternAuthor("a", "Alice")
 	b, _ := s.InternAuthor("b", "Bob")
 	v, _ := s.InternVenue("v", "ICDE")
@@ -37,7 +37,7 @@ func buildTiny(t testing.TB) *Network {
 			t.Fatal(err)
 		}
 	}
-	return Build(s)
+	return Build(s.Freeze())
 }
 
 func TestBuildBasics(t *testing.T) {
@@ -155,7 +155,7 @@ func TestGatherSpreadVenues(t *testing.T) {
 }
 
 func TestEmptyCorpusNetwork(t *testing.T) {
-	n := Build(corpus.NewStore())
+	n := Build(corpus.NewBuilder().Freeze())
 	if n.NumArticles() != 0 || n.Now != 0 {
 		t.Errorf("empty network: articles=%d now=%v", n.NumArticles(), n.Now)
 	}
@@ -178,7 +178,7 @@ func TestSpreadOverwritesDst(t *testing.T) {
 func buildRandom(t testing.TB, n int, seed int64) *Network {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	authors := make([]corpus.AuthorID, n/3+1)
 	for i := range authors {
 		authors[i], _ = s.InternAuthor(fmt.Sprintf("a%d", i), "")
@@ -208,7 +208,7 @@ func buildRandom(t testing.TB, n int, seed int64) *Network {
 			t.Fatal(err)
 		}
 	}
-	return Build(s)
+	return Build(s.Freeze())
 }
 
 // TestGatherSpreadPooledMatchesSerial checks the pool-parallel pull
@@ -275,12 +275,13 @@ func TestGatherSpreadPooledMatchesSerial(t *testing.T) {
 // and every kernel must agree with a from-scratch Build.
 func TestGrowCitationDelta(t *testing.T) {
 	old := buildTiny(t)
-	grown := old.Store().Clone()
-	p0, _ := grown.ArticleByKey("p0")
-	p1, _ := grown.ArticleByKey("p1")
-	if err := grown.AddCitation(p1, p0); err != nil { // duplicate edge, merges
+	gb := old.Store().Thaw()
+	p0, _ := gb.ArticleByKey("p0")
+	p1, _ := gb.ArticleByKey("p1")
+	if err := gb.AddCitation(p1, p0); err != nil { // duplicate edge, merges
 		t.Fatal(err)
 	}
+	grown := gb.Freeze()
 	n := Grow(old, grown)
 	fresh := Build(grown)
 
@@ -318,19 +319,20 @@ func TestGrowCitationDelta(t *testing.T) {
 // back to a full rebuild with correct layers.
 func TestGrowEntityDelta(t *testing.T) {
 	old := buildTiny(t)
-	grown := old.Store().Clone()
-	a, _ := grown.ArticleByKey("p0")
-	au, err := grown.InternAuthor("c", "Carol")
+	gb := old.Store().Thaw()
+	a, _ := gb.ArticleByKey("p0")
+	au, err := gb.InternAuthor("c", "Carol")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := grown.AddArticle(corpus.ArticleMeta{Key: "p3", Year: 2012, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au}})
+	p3, err := gb.AddArticle(corpus.ArticleMeta{Key: "p3", Year: 2012, Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := grown.AddCitation(p3, a); err != nil {
+	if err := gb.AddCitation(p3, a); err != nil {
 		t.Fatal(err)
 	}
+	grown := gb.Freeze()
 	n := Grow(old, grown)
 	if n.NumArticles() != 4 || n.NumAuthors() != 3 {
 		t.Fatalf("grown counts %d/%d", n.NumArticles(), n.NumAuthors())

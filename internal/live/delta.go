@@ -41,13 +41,14 @@ type DeltaStats struct {
 // Empty reports whether the delta changed nothing.
 func (d DeltaStats) Empty() bool { return d.NewArticles == 0 && d.NewCitations == 0 }
 
-// ApplyDelta reads a JSONL delta batch from r and applies it to s,
+// ApplyDelta reads a JSONL delta batch from r and applies it to b,
 // returning what changed. Articles are added in a first pass and
 // citations resolved in a second, so refs may point forward to
-// articles later in the same batch. Apply deltas to a Store clone —
-// on error the store may hold a prefix of the batch, and a live
-// server must not serve that.
-func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
+// articles later in the same batch. Apply deltas to a thawed copy of
+// the serving store (Store.Thaw) — on error the builder may hold a
+// prefix of the batch, and a live server must not freeze and serve
+// that.
+func ApplyDelta(b *corpus.Builder, r io.Reader) (DeltaStats, error) {
 	var stats DeltaStats
 	type pending struct {
 		from corpus.ArticleID
@@ -70,11 +71,11 @@ func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
 		if rec.ID == "" {
 			return stats, fmt.Errorf("live: delta line %d: missing id", line)
 		}
-		id, exists := s.ArticleByKey(rec.ID)
+		id, exists := b.ArticleByKey(rec.ID)
 		if !exists {
 			venue := corpus.NoVenue
 			if rec.Venue != "" {
-				v, err := s.InternVenue(rec.Venue, rec.Venue)
+				v, err := b.InternVenue(rec.Venue, rec.Venue)
 				if err != nil {
 					return stats, fmt.Errorf("live: delta line %d: %w", line, err)
 				}
@@ -82,14 +83,14 @@ func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
 			}
 			authors := make([]corpus.AuthorID, 0, len(rec.Authors))
 			for _, ak := range rec.Authors {
-				a, err := s.InternAuthor(ak, ak)
+				a, err := b.InternAuthor(ak, ak)
 				if err != nil {
 					return stats, fmt.Errorf("live: delta line %d: %w", line, err)
 				}
 				authors = append(authors, a)
 			}
 			var err error
-			id, err = s.AddArticle(corpus.ArticleMeta{
+			id, err = b.AddArticle(corpus.ArticleMeta{
 				Key: rec.ID, Title: rec.Title, Year: rec.Year,
 				Venue: venue, Authors: authors,
 			})
@@ -106,12 +107,12 @@ func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
 		return stats, fmt.Errorf("live: delta scan: %w", err)
 	}
 	for _, p := range todo {
-		existing := make(map[corpus.ArticleID]struct{}, len(s.Refs(p.from)))
-		for _, ref := range s.Refs(p.from) {
+		existing := make(map[corpus.ArticleID]struct{}, len(b.Refs(p.from)))
+		for _, ref := range b.Refs(p.from) {
 			existing[ref] = struct{}{}
 		}
 		for _, key := range p.refs {
-			to, ok := s.ArticleByKey(key)
+			to, ok := b.ArticleByKey(key)
 			if !ok {
 				stats.DroppedRefs++
 				continue
@@ -125,9 +126,9 @@ func ApplyDelta(s *corpus.Store, r io.Reader) (DeltaStats, error) {
 				stats.DuplicateCitations++
 				continue
 			}
-			if err := s.AddCitation(p.from, to); err != nil {
+			if err := b.AddCitation(p.from, to); err != nil {
 				return stats, fmt.Errorf("live: delta citation %q->%q: %w",
-					s.Article(p.from).Key, key, err)
+					b.Article(p.from).Key, key, err)
 			}
 			existing[to] = struct{}{}
 			stats.NewCitations++

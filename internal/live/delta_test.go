@@ -10,9 +10,9 @@ import (
 	"scholarrank/internal/corpus"
 )
 
-func baseStore(t *testing.T) *corpus.Store {
+func baseStore(t *testing.T) *corpus.Builder {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	for i, year := range []int{2000, 2005, 2010} {
 		if _, err := s.AddArticle(corpus.ArticleMeta{
 			Key: "p" + string(rune('0'+i)), Year: year, Venue: corpus.NoVenue,

@@ -15,12 +15,12 @@ import (
 // rankedFixture builds a small ranked corpus.
 func rankedFixture(t testing.TB) (*corpus.Store, *core.Scores) {
 	t.Helper()
-	s := corpus.NewStore()
-	au, _ := s.InternAuthor("au", "Author")
-	v, _ := s.InternVenue("v", "Venue")
+	b := corpus.NewBuilder()
+	au, _ := b.InternAuthor("au", "Author")
+	v, _ := b.InternVenue("v", "Venue")
 	var ids []corpus.ArticleID
 	for i, year := range []int{1995, 2000, 2005, 2010, 2015} {
-		id, err := s.AddArticle(corpus.ArticleMeta{
+		id, err := b.AddArticle(corpus.ArticleMeta{
 			Key: string(rune('a' + i)), Title: "T", Year: year,
 			Venue: v, Authors: []corpus.AuthorID{au},
 		})
@@ -31,11 +31,12 @@ func rankedFixture(t testing.TB) (*corpus.Store, *core.Scores) {
 	}
 	for i := 1; i < len(ids); i++ {
 		for j := 0; j < i; j++ {
-			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+			if err := b.AddCitation(ids[i], ids[j]); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
+	s := b.Freeze()
 	sc, err := core.Rank(hetnet.Build(s), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -134,16 +135,16 @@ func TestSnapshotMatches(t *testing.T) {
 	if err := sn.Matches(store); err != nil {
 		t.Errorf("self match: %v", err)
 	}
-	clone := store.Clone()
-	if err := sn.Matches(clone); err != nil {
+	cb := store.Thaw()
+	if err := sn.Matches(cb.Freeze()); err != nil {
 		t.Errorf("clone match: %v", err)
 	}
-	a, _ := clone.ArticleByKey("a")
-	e, _ := clone.ArticleByKey("e")
-	if err := clone.AddCitation(a, e); err != nil {
+	a, _ := cb.ArticleByKey("a")
+	e, _ := cb.ArticleByKey("e")
+	if err := cb.AddCitation(a, e); err != nil {
 		t.Fatal(err)
 	}
-	if err := sn.Matches(clone); !errors.Is(err, ErrFingerprint) {
+	if err := sn.Matches(cb.Freeze()); !errors.Is(err, ErrFingerprint) {
 		t.Errorf("mutated corpus: err = %v, want ErrFingerprint", err)
 	}
 }
@@ -196,23 +197,23 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 func TestFingerprintSensitivity(t *testing.T) {
 	store, _ := rankedFixture(t)
 	base := Fingerprint(store)
-	if Fingerprint(store.Clone()) != base {
-		t.Error("clone changes fingerprint")
+	if Fingerprint(store.Thaw().Freeze()) != base {
+		t.Error("thaw+freeze changes fingerprint")
 	}
-	withCite := store.Clone()
-	a, _ := withCite.ArticleByKey("a")
-	e, _ := withCite.ArticleByKey("e")
-	if err := withCite.AddCitation(a, e); err != nil {
+	cb := store.Thaw()
+	a, _ := cb.ArticleByKey("a")
+	e, _ := cb.ArticleByKey("e")
+	if err := cb.AddCitation(a, e); err != nil {
 		t.Fatal(err)
 	}
-	if Fingerprint(withCite) == base {
+	if Fingerprint(cb.Freeze()) == base {
 		t.Error("new citation does not change fingerprint")
 	}
-	withArt := store.Clone()
-	if _, err := withArt.AddArticle(corpus.ArticleMeta{Key: "z", Year: 2016, Venue: corpus.NoVenue}); err != nil {
+	ab := store.Thaw()
+	if _, err := ab.AddArticle(corpus.ArticleMeta{Key: "z", Year: 2016, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
-	if Fingerprint(withArt) == base {
+	if Fingerprint(ab.Freeze()) == base {
 		t.Error("new article does not change fingerprint")
 	}
 }

@@ -76,11 +76,11 @@ func TestCoRankValidation(t *testing.T) {
 }
 
 func TestCoRankNoAuthorsFallsBackToPageRank(t *testing.T) {
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	p0, _ := s.AddArticle(corpus.ArticleMeta{Key: "p0", Year: 2000, Venue: corpus.NoVenue})
 	p1, _ := s.AddArticle(corpus.ArticleMeta{Key: "p1", Year: 2001, Venue: corpus.NoVenue})
 	_ = s.AddCitation(p1, p0)
-	net := hetnet.Build(s)
+	net := hetnet.Build(s.Freeze())
 	r, err := CoRank(net, CoRankOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestCoRankNoAuthorsFallsBackToPageRank(t *testing.T) {
 }
 
 func TestCoRankEmpty(t *testing.T) {
-	net := hetnet.Build(corpus.NewStore())
+	net := hetnet.Build(corpus.NewBuilder().Freeze())
 	r, err := CoRank(net, CoRankOptions{})
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,7 @@ import (
 // author B wrote p1 only; venue V holds p0 and p2 (0.1); p2 is bare.
 func entityFixture(t *testing.T) (*hetnet.Network, []float64) {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	a, _ := s.InternAuthor("A", "A")
 	b, _ := s.InternAuthor("B", "B")
 	v, _ := s.InternVenue("V", "V")
@@ -26,7 +26,7 @@ func entityFixture(t *testing.T) (*hetnet.Network, []float64) {
 	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "p2", Year: 2002, Venue: v}); err != nil {
 		t.Fatal(err)
 	}
-	return hetnet.Build(s), []float64{0.6, 0.3, 0.1}
+	return hetnet.Build(s.Freeze()), []float64{0.6, 0.3, 0.1}
 }
 
 func TestAuthorRankSum(t *testing.T) {
@@ -118,7 +118,7 @@ func TestEntityAggregateString(t *testing.T) {
 }
 
 func TestEntityRankEmptyNetwork(t *testing.T) {
-	net := hetnet.Build(corpus.NewStore())
+	net := hetnet.Build(corpus.NewBuilder().Freeze())
 	got, err := AuthorRank(net, nil, EntityRankOptions{})
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty AuthorRank = %v, %v", got, err)

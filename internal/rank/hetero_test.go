@@ -19,7 +19,7 @@ import (
 // and uncited.
 func buildHetFixture(t testing.TB) *hetnet.Network {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	star, _ := s.InternAuthor("star", "Star Author")
 	other, _ := s.InternAuthor("other", "Other")
 	v, _ := s.InternVenue("v", "Venue")
@@ -44,7 +44,7 @@ func buildHetFixture(t testing.TB) *hetnet.Network {
 		}
 	}
 	_ = p5
-	return hetnet.Build(s)
+	return hetnet.Build(s.Freeze())
 }
 
 func TestFutureRankConvergesAndSumsToOne(t *testing.T) {
@@ -98,7 +98,7 @@ func TestFutureRankValidation(t *testing.T) {
 }
 
 func TestFutureRankEmptyNetwork(t *testing.T) {
-	net := hetnet.Build(corpus.NewStore())
+	net := hetnet.Build(corpus.NewBuilder().Freeze())
 	r, err := FutureRank(net, DefaultFutureRankOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +157,7 @@ func TestPRankValidation(t *testing.T) {
 }
 
 func TestPRankEmptyNetwork(t *testing.T) {
-	net := hetnet.Build(corpus.NewStore())
+	net := hetnet.Build(corpus.NewBuilder().Freeze())
 	r, err := PRank(net, PRankOptions{})
 	if err != nil {
 		t.Fatal(err)

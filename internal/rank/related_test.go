@@ -15,7 +15,7 @@ import (
 //	bridge:    b0 cites a0
 func relatedFixture(t *testing.T) (*hetnet.Network, map[string]corpus.ArticleID) {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	ids := map[string]corpus.ArticleID{}
 	for i, key := range []string{"a0", "a1", "a2", "b0", "b1", "b2"} {
 		id, err := s.AddArticle(corpus.ArticleMeta{Key: key, Year: 2000 + i, Venue: corpus.NoVenue})
@@ -33,7 +33,7 @@ func relatedFixture(t *testing.T) (*hetnet.Network, map[string]corpus.ArticleID)
 			t.Fatal(err)
 		}
 	}
-	return hetnet.Build(s), ids
+	return hetnet.Build(s.Freeze()), ids
 }
 
 func TestRelatedFindsOwnCluster(t *testing.T) {
@@ -99,14 +99,14 @@ func TestRelatedValidation(t *testing.T) {
 }
 
 func TestRelatedIsolatedSeed(t *testing.T) {
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "solo", Year: 2000, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "other", Year: 2001, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
-	ri, err := NewRelatedIndex(hetnet.Build(s), RelatedOptions{})
+	ri, err := NewRelatedIndex(hetnet.Build(s.Freeze()), RelatedOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 // citer is from the top venue, b's from the low venue.
 func venueFixture(t *testing.T) *hetnet.Network {
 	t.Helper()
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	top, _ := s.InternVenue("top", "Top Venue")
 	low, _ := s.InternVenue("low", "Low Venue")
 	add := func(key string, year int, v corpus.VenueID) corpus.ArticleID {
@@ -40,7 +40,7 @@ func venueFixture(t *testing.T) *hetnet.Network {
 			t.Fatal(err)
 		}
 	}
-	return hetnet.Build(s)
+	return hetnet.Build(s.Freeze())
 }
 
 func TestVenueWeightedPageRankPrefersPrestigiousCiters(t *testing.T) {
@@ -61,11 +61,11 @@ func TestVenueWeightedPageRankPrefersPrestigiousCiters(t *testing.T) {
 }
 
 func TestVenueWeightedPageRankNoVenuesEqualsPageRank(t *testing.T) {
-	s := corpus.NewStore()
+	s := corpus.NewBuilder()
 	a, _ := s.AddArticle(corpus.ArticleMeta{Key: "a", Year: 2000, Venue: corpus.NoVenue})
 	b, _ := s.AddArticle(corpus.ArticleMeta{Key: "b", Year: 2001, Venue: corpus.NoVenue})
 	_ = s.AddCitation(b, a)
-	net := hetnet.Build(s)
+	net := hetnet.Build(s.Freeze())
 	vw, err := VenueWeightedPageRank(net, PageRankOptions{})
 	if err != nil {
 		t.Fatal(err)

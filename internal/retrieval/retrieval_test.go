@@ -168,7 +168,7 @@ func TestMeanNDCGAndBestLambda(t *testing.T) {
 }
 
 func TestBuildWorkloadEmptyCorpus(t *testing.T) {
-	net := hetnet.Build(corpus.NewStore())
+	net := hetnet.Build(corpus.NewBuilder().Freeze())
 	if _, err := BuildWorkload(net, nil, DefaultWorkloadOptions()); !errors.Is(err, ErrBadWorkload) {
 		t.Errorf("empty corpus: %v", err)
 	}

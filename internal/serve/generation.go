@@ -98,16 +98,17 @@ func (g *generation) snapshot() *live.Snapshot {
 // run under s.mu; readers are never blocked, they keep loading the
 // old generation until the atomic pointer swap.
 
-// Ingest applies a JSONL delta batch to a clone of the current corpus,
-// re-solves the ranking warm-started from the current scores, and
-// atomically swaps the new generation in. An empty delta (everything
-// already known) swaps nothing and leaves the version unchanged.
+// Ingest applies a JSONL delta batch to a thawed copy of the current
+// corpus, re-freezes it, re-solves the ranking warm-started from the
+// current scores, and atomically swaps the new generation in. An
+// empty delta (everything already known) swaps nothing and leaves the
+// version unchanged.
 func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev := s.gen.Load()
-	store := prev.store.Clone()
-	stats, err := live.ApplyDelta(store, r)
+	b := prev.store.Thaw()
+	stats, err := live.ApplyDelta(b, r)
 	if err != nil {
 		return stats, err
 	}
@@ -115,7 +116,7 @@ func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
 		return stats, nil
 	}
 	s.metrics.ingestApplied.Inc()
-	return stats, s.rebuildLocked(store, "ingest")
+	return stats, s.rebuildLocked(b.Freeze(), "ingest")
 }
 
 // Reload drains any pending spool deltas and re-solves the ranking
@@ -172,13 +173,14 @@ func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
 	return nil
 }
 
-// drainSpoolLocked folds every settled spool delta into a clone of
-// the current corpus. Each file is applied to a trial clone so a
-// malformed file cannot poison the batch: failures are renamed aside
-// (.err) and logged, clean files are renamed .done after the apply.
-// It returns a nil store when no file was ingested. A debounce of d
-// skips the drain while the newest file is younger than d (a producer
-// is still writing). Callers must hold s.mu.
+// drainSpoolLocked folds every settled spool delta into a copy of the
+// current corpus. Each file is applied to a trial builder thawed from
+// the last good frozen store, so a malformed file cannot poison the
+// batch: failures are renamed aside (.err) and logged, clean files
+// are renamed .done after their changes are frozen in. It returns a
+// nil store when no file was ingested. A debounce of d skips the
+// drain while the newest file is younger than d (a producer is still
+// writing). Callers must hold s.mu.
 func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Store, error) {
 	var total live.DeltaStats
 	if s.cfg.SpoolDir == "" {
@@ -194,10 +196,10 @@ func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Sto
 	if d > 0 && s.clock().Sub(live.NewestModTime(files)) < d {
 		return total, nil, nil
 	}
-	acc := s.gen.Load().store.Clone()
+	acc := s.gen.Load().store
 	ingested := false
 	for _, f := range files {
-		trial := acc.Clone()
+		trial := acc.Thaw()
 		stats, err := applyDeltaFile(trial, f.Path)
 		if err != nil {
 			s.log.Warn("spool delta rejected, quarantining", "file", f.Path, "error", err)
@@ -207,7 +209,7 @@ func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Sto
 			}
 			continue
 		}
-		acc = trial
+		acc = trial.Freeze()
 		ingested = true
 		s.metrics.ingestApplied.Inc()
 		total.NewArticles += stats.NewArticles
@@ -224,13 +226,13 @@ func (s *Server) drainSpoolLocked(d time.Duration) (live.DeltaStats, *corpus.Sto
 	return total, acc, nil
 }
 
-func applyDeltaFile(store *corpus.Store, path string) (live.DeltaStats, error) {
+func applyDeltaFile(b *corpus.Builder, path string) (live.DeltaStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return live.DeltaStats{}, err
 	}
 	defer f.Close()
-	return live.ApplyDelta(store, f)
+	return live.ApplyDelta(b, f)
 }
 
 // refreshLoop polls the spool directory until Close. Settled deltas

@@ -24,11 +24,11 @@ import (
 // tests can cross-check snapshots against it.
 func liveFixture(t *testing.T, cfg Config) (*corpus.Store, *Server) {
 	t.Helper()
-	s := corpus.NewStore()
-	au, _ := s.InternAuthor("au", "Author")
+	b := corpus.NewBuilder()
+	au, _ := b.InternAuthor("au", "Author")
 	ids := make([]corpus.ArticleID, 0, 6)
 	for i, year := range []int{1998, 2002, 2006, 2010, 2012, 2014} {
-		id, err := s.AddArticle(corpus.ArticleMeta{
+		id, err := b.AddArticle(corpus.ArticleMeta{
 			Key: string(rune('a' + i)), Title: "T", Year: year,
 			Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au},
 		})
@@ -39,11 +39,12 @@ func liveFixture(t *testing.T, cfg Config) (*corpus.Store, *Server) {
 	}
 	for i := 1; i < len(ids); i++ {
 		for j := 0; j < i; j += 2 {
-			if err := s.AddCitation(ids[i], ids[j]); err != nil {
+			if err := b.AddCitation(ids[i], ids[j]); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
+	s := b.Freeze()
 	cfg.Options = core.DefaultOptions()
 	srv, err := NewWithConfig(s, cfg)
 	if err != nil {
@@ -168,7 +169,7 @@ func TestAdminSnapshotBootstrap(t *testing.T) {
 		t.Fatalf("snapshot header = %+v", snap)
 	}
 
-	replica, err := NewFromSnapshot(store.Clone(), snap, Config{Options: core.DefaultOptions()})
+	replica, err := NewFromSnapshot(store.Thaw().Freeze(), snap, Config{Options: core.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestAdminSnapshotBootstrap(t *testing.T) {
 func TestNewFromSnapshotRejectsMismatch(t *testing.T) {
 	store, srv := liveFixture(t, Config{})
 	snap := srv.Snapshot()
-	drifted := store.Clone()
-	if _, err := drifted.AddArticle(corpus.ArticleMeta{Key: "x", Year: 2016, Venue: corpus.NoVenue}); err != nil {
+	db := store.Thaw()
+	if _, err := db.AddArticle(corpus.ArticleMeta{Key: "x", Year: 2016, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewFromSnapshot(drifted, snap, Config{}); !errors.Is(err, live.ErrFingerprint) {
+	if _, err := NewFromSnapshot(db.Freeze(), snap, Config{}); !errors.Is(err, live.ErrFingerprint) {
 		t.Errorf("mismatched corpus: err = %v, want ErrFingerprint", err)
 	}
 }

@@ -21,6 +21,9 @@ const (
 	metricSolverSeconds     = "sarserve_solver_phase_seconds"
 	metricPoolWorkers       = "sarserve_solver_pool_workers"
 	metricPoolSweeps        = "sarserve_solver_pool_sweeps"
+	metricCorpusBytes       = "sarserve_corpus_bytes"
+	metricCorpusLoadSecs    = "sarserve_corpus_load_seconds"
+	metricCorpusArticles    = "sarserve_corpus_articles"
 )
 
 // serveMetrics bundles every instrument the serving layer records
@@ -113,4 +116,24 @@ func (m *serveMetrics) observeServer(s *Server) {
 	m.reg.GaugeFunc(metricPoolSweeps,
 		"Cumulative kernel sweeps the solver pool has executed.", nil,
 		func() float64 { return float64(scores().Pool.Runs) })
+
+	m.reg.GaugeFunc(metricCorpusBytes,
+		"Resident bytes of the serving corpus's frozen columns.", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.store.Bytes())
+			}
+			return 0
+		})
+	m.reg.GaugeFunc(metricCorpusArticles,
+		"Articles in the serving corpus generation.", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.store.NumArticles())
+			}
+			return 0
+		})
+	m.reg.GaugeFunc(metricCorpusLoadSecs,
+		"Wall time the boot corpus took to load from disk.", nil,
+		func() float64 { return s.cfg.CorpusLoadSeconds })
 }

@@ -54,7 +54,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		if m == nil || m[1] == "0" {
 			t.Errorf("solver iterations gauge for %s missing or zero:\n%s", phase, m)
 		}
-		if !regexp.MustCompile(`sarserve_solver_residual\{phase="`+phase+`"\} \d`).MatchString(out) {
+		if !regexp.MustCompile(`sarserve_solver_residual\{phase="` + phase + `"\} \d`).MatchString(out) {
 			t.Errorf("solver residual gauge for %s missing", phase)
 		}
 	}

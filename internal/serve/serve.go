@@ -55,6 +55,12 @@ type Config struct {
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
 
+	// CorpusLoadSeconds records how long the boot corpus took to load
+	// from disk (set by the sarserve command); it is reported on
+	// GET /stats and as the sarserve_corpus_load_seconds gauge so
+	// operators can verify the zero-parse boot path is in effect.
+	CorpusLoadSeconds float64
+
 	// Logger receives the server's structured log lines; nil selects
 	// the shared obs logger tagged component=serve.
 	Logger *slog.Logger
@@ -500,6 +506,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"importance_top_mean": topMean(imp, g.order, 100),
 		"version":             g.version,
 		"source":              g.source,
+		"corpus_bytes":        g.store.Bytes(),
+		"corpus_load_seconds": s.cfg.CorpusLoadSeconds,
 		"corpus_fingerprint":  fmt.Sprintf("%016x", g.fingerprint),
 		"ranked_at":           g.rankedAt.UTC().Format(time.RFC3339),
 		"staleness_seconds":   int64(s.clock().Sub(g.rankedAt).Seconds()),

@@ -13,11 +13,11 @@ import (
 // fixtureServer builds a 4-article ranked server.
 func fixtureServer(t *testing.T) *Server {
 	t.Helper()
-	s := corpus.NewStore()
-	au, _ := s.InternAuthor("au", "Author")
+	b := corpus.NewBuilder()
+	au, _ := b.InternAuthor("au", "Author")
 	ids := make([]corpus.ArticleID, 0, 4)
 	for i, year := range []int{2000, 2005, 2010, 2015} {
-		id, err := s.AddArticle(corpus.ArticleMeta{
+		id, err := b.AddArticle(corpus.ArticleMeta{
 			Key: string(rune('a' + i)), Title: "T", Year: year,
 			Venue: corpus.NoVenue, Authors: []corpus.AuthorID{au},
 		})
@@ -27,11 +27,11 @@ func fixtureServer(t *testing.T) *Server {
 		ids = append(ids, id)
 	}
 	for _, c := range [][2]int{{1, 0}, {2, 0}, {2, 1}, {3, 0}} {
-		if err := s.AddCitation(ids[c[0]], ids[c[1]]); err != nil {
+		if err := b.AddCitation(ids[c[0]], ids[c[1]]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	srv, err := New(s, core.DefaultOptions())
+	srv, err := New(b.Freeze(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,11 +255,11 @@ func TestPercentile(t *testing.T) {
 }
 
 func TestSingleArticlePercentile(t *testing.T) {
-	s := corpus.NewStore()
-	if _, err := s.AddArticle(corpus.ArticleMeta{Key: "only", Year: 2001, Venue: corpus.NoVenue}); err != nil {
+	b := corpus.NewBuilder()
+	if _, err := b.AddArticle(corpus.ArticleMeta{Key: "only", Year: 2001, Venue: corpus.NoVenue}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(s, core.DefaultOptions())
+	srv, err := New(b.Freeze(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,14 +20,22 @@
 //
 // # Quick start
 //
-//	store := scholarrank.NewStore()
-//	// ... add articles and citations (or load with ReadJSONL) ...
+//	b := scholarrank.NewBuilder()
+//	// ... add articles and citations ...
+//	store := b.Freeze() // immutable columnar Store
 //	net := scholarrank.BuildNetwork(store)
 //	scores, err := scholarrank.Rank(net, scholarrank.DefaultOptions())
 //	if err != nil { ... }
 //	for _, i := range scholarrank.TopK(scores.Importance, 10) {
 //		fmt.Println(store.Article(scholarrank.ArticleID(i)).Title)
 //	}
+//
+// Corpora live in two states: a mutable Builder (load/ingest time)
+// and an immutable columnar Store (rank/serve time). Freeze converts
+// the first into the second; Store.Thaw reopens a frozen corpus for
+// further growth. The SCORP binary format (WriteSCORPFile /
+// ReadSCORPFile) persists a frozen Store column-for-column so a
+// serving process boots without parsing any text.
 package scholarrank
 
 import (
@@ -47,10 +55,13 @@ import (
 	"scholarrank/internal/temporal"
 )
 
-// Corpus model. A Store interns articles, authors and venues into
-// dense indices; all score vectors are indexed by ArticleID.
+// Corpus model. A Builder interns articles, authors and venues into
+// dense indices and Freeze packs them into an immutable columnar
+// Store; all score vectors are indexed by ArticleID.
 type (
-	// Store holds a scholarly corpus.
+	// Builder accumulates a corpus; Freeze yields the Store.
+	Builder = corpus.Builder
+	// Store holds a frozen scholarly corpus.
 	Store = corpus.Store
 	// Article is one article record inside a Store.
 	Article = corpus.Article
@@ -69,8 +80,8 @@ type (
 // NoVenue marks an article without a publication venue.
 const NoVenue = corpus.NoVenue
 
-// NewStore returns an empty corpus.
-func NewStore() *Store { return corpus.NewStore() }
+// NewBuilder returns an empty mutable corpus builder.
+func NewBuilder() *Builder { return corpus.NewBuilder() }
 
 // ReadJSONL decodes a corpus from one-article-per-line JSON.
 func ReadJSONL(r io.Reader, opts ReadOptions) (*Store, error) { return corpus.ReadJSONL(r, opts) }
@@ -97,6 +108,21 @@ func ReadAMinerJSON(r io.Reader) (s *Store, skippedRecords, droppedCitations int
 
 // WriteBinary encodes the corpus as a checksummed binary snapshot.
 func WriteBinary(w io.Writer, s *Store) error { return corpus.WriteBinary(w, s) }
+
+// ReadSCORP decodes a columnar SCORP corpus — the zero-parse boot
+// format: the frozen Store's columns are materialised directly from
+// the sectioned, CRC-checked byte stream.
+func ReadSCORP(r io.Reader) (*Store, error) { return corpus.ReadSCORP(r) }
+
+// WriteSCORP encodes a frozen corpus in the columnar SCORP format.
+func WriteSCORP(w io.Writer, s *Store) error { return corpus.WriteSCORP(w, s) }
+
+// ReadSCORPFile loads a SCORP corpus file.
+func ReadSCORPFile(path string) (*Store, error) { return corpus.ReadSCORPFile(path) }
+
+// WriteSCORPFile atomically writes a SCORP corpus file (temp file +
+// fsync + rename, so readers never observe a partial corpus).
+func WriteSCORPFile(path string, s *Store) error { return corpus.WriteSCORPFile(path, s) }
 
 // Network is the assembled heterogeneous view of a corpus: citation
 // graph, author and venue layers, publication times.

@@ -11,7 +11,7 @@ import (
 // buildPublicFixture assembles a corpus through the public API only.
 func buildPublicFixture(t testing.TB) *scholarrank.Store {
 	t.Helper()
-	s := scholarrank.NewStore()
+	s := scholarrank.NewBuilder()
 	au, err := s.InternAuthor("au", "Author")
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +42,7 @@ func buildPublicFixture(t testing.TB) *scholarrank.Store {
 			t.Fatal(err)
 		}
 	}
-	return s
+	return s.Freeze()
 }
 
 func TestPublicRankPipeline(t *testing.T) {
