@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench
+.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench bench-json
 
 ## check: everything CI runs — vet, lint, build, race-detector tests on
 ## the parallel packages, then the full test suite.
@@ -53,3 +53,14 @@ bench-quick:
 ## bench: every table/figure benchmark on the full-size corpora.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+## bench-json: machine-readable benchmark artifact. Runs the
+## reordering/extrapolation walk benchmark and the end-to-end parallel
+## solve (quick corpus), then folds both into BENCH_5.json via
+## cmd/benchjson.
+bench-json:
+	@{ \
+		QISA_BENCH_QUICK=1 $(GO) test -run xxx -bench 'BenchmarkFigure6Parallel$$' -benchtime 20x -benchmem . && \
+		$(GO) test ./internal/sparse/ -run xxx -bench 'BenchmarkDampedWalkPowerLaw|BenchmarkReorderPermutation' -benchtime 5x -benchmem ; \
+	} | tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_5.json
+	@echo "wrote BENCH_5.json"

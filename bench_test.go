@@ -12,16 +12,26 @@ package scholarrank_test
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 
 	"scholarrank/internal/experiments"
 )
 
+// benchOptions honours QISA_BENCH_QUICK (shrunken corpora) and
+// QISA_BENCH_WORKERS (solver parallelism; default 1 so benchmark
+// numbers are comparable across machines unless deliberately scaled).
 func benchOptions() experiments.Options {
+	workers := 1
+	if v := os.Getenv("QISA_BENCH_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			workers = n
+		}
+	}
 	return experiments.Options{
 		Quick:   os.Getenv("QISA_BENCH_QUICK") == "1",
-		Workers: 1,
+		Workers: workers,
 	}
 }
 

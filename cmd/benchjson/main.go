@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact, so CI can archive benchmark numbers
+// in a form that diffing and plotting tools consume directly.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Input is read from stdin (or from files given as arguments, in
+// order) and may mix benchmark lines with arbitrary other output —
+// experiment tables, PASS/ok trailers — which is ignored. Each
+// benchmark result becomes one record with the parallelism suffix
+// split off the name:
+//
+//	{"name": "BenchmarkDampedWalkPowerLaw100k/reordered", "procs": 8,
+//	 "iterations": 38, "ns_per_op": 40211532, "b_per_op": 1600128,
+//	 "allocs_per_op": 6}
+//
+// ns_per_op is always present; the -benchmem and SetBytes fields
+// appear only when the input carried them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. Pointer fields distinguish
+// "not reported" from zero in the JSON output.
+type benchResult struct {
+	Name        string   `json:"name"`
+	Procs       int      `json:"procs,omitempty"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+}
+
+// report is the artifact envelope: the host context lines Go prints
+// before the first benchmark, then every result in input order.
+type report struct {
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against the given arguments and streams; it
+// is the testable core of the command.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rep report
+	if paths := fs.Args(); len(paths) > 0 {
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			err = parseBench(f, &rep)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+		}
+	} else if err := parseBench(stdin, &rep); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// parseBench scans go-test benchmark output, appending every result
+// line to rep and capturing the goos/goarch/cpu context lines.
+// Non-benchmark lines are skipped, so mixed output (experiment tables,
+// package trailers) parses cleanly.
+func parseBench(r io.Reader, rep *report) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName/sub-8  38  40211532 ns/op  1600128 B/op  6 allocs/op
+//
+// returning ok=false for lines that merely start with "Benchmark"
+// (such as a benchmark's own log output) but do not fit the shape.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	res := benchResult{Name: fields[0]}
+	// The trailing -N is GOMAXPROCS, split off so names are stable
+	// across machines. Subtests keep their full slash path.
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil && p > 0 {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res.Iterations = iters
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, seen = v, true
+		case "B/op":
+			res.BPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		case "MB/s":
+			res.MBPerS = &v
+		}
+	}
+	return res, seen
+}

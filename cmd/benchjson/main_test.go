@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: scholarrank/internal/sparse
+cpu: AMD EPYC 7B13
+BenchmarkDampedWalkPowerLaw100k/original-8         	      18	  63297518 ns/op	 1600132 B/op	       6 allocs/op
+BenchmarkDampedWalkPowerLaw100k/reordered-8        	      28	  40211532 ns/op	 1600128 B/op	       6 allocs/op
+BenchmarkDampedWalkPowerLaw100k/reordered-aitken-8 	      40	  28844120 ns/op	 4000512 B/op	      12 allocs/op
+BenchmarkL1Diff-8                                  	   21514	     55400 ns/op	28880.87 MB/s	       0 B/op	       0 allocs/op
+| some experiment table row | 42 |
+Benchmark log line that is not a result
+PASS
+ok  	scholarrank/internal/sparse	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	var rep report
+	if err := parseBench(strings.NewReader(sampleOutput), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("context = %q %q %q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	r := rep.Benchmarks[1]
+	if r.Name != "BenchmarkDampedWalkPowerLaw100k/reordered" || r.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 28 || r.NsPerOp != 40211532 {
+		t.Errorf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BPerOp == nil || *r.BPerOp != 1600128 || r.AllocsPerOp == nil || *r.AllocsPerOp != 6 {
+		t.Errorf("benchmem fields = %v %v", r.BPerOp, r.AllocsPerOp)
+	}
+	if r.MBPerS != nil {
+		t.Errorf("unexpected MB/s on walk benchmark: %v", *r.MBPerS)
+	}
+	// The aitken subtest name keeps its own dash; only the trailing
+	// GOMAXPROCS suffix is split off.
+	if got := rep.Benchmarks[2].Name; got != "BenchmarkDampedWalkPowerLaw100k/reordered-aitken" {
+		t.Errorf("aitken name = %q", got)
+	}
+	if l1 := rep.Benchmarks[3]; l1.MBPerS == nil || *l1.MBPerS != 28880.87 {
+		t.Errorf("MB/s = %v", l1.MBPerS)
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "bench.txt")
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-o", out, in}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Errorf("artifact has %d results", len(rep.Benchmarks))
+	}
+	// Unreported fields must be absent, not zero — the artifact is
+	// diffed by tools that treat 0 B/op as a measurement.
+	if strings.Contains(string(raw), `"mb_per_s": 0`) {
+		t.Error("zero-valued mb_per_s serialised")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr); err == nil {
+		t.Error("empty input accepted")
+	}
+}

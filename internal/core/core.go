@@ -135,6 +135,20 @@ type Options struct {
 	// Iter controls convergence of both iterative stages.
 	Iter sparse.IterOptions
 
+	// AitkenEvery sets the cadence of Aitken Δ² extrapolation in the
+	// prestige walk: every AitkenEvery plain sweeps the solver attempts
+	// a vector-extrapolated jump, keeping it only when it shrinks the
+	// residual (see sparse.IterOptions.AitkenEvery). 0 selects the
+	// default cadence; negative disables extrapolation. The fixed point
+	// is unchanged either way — extrapolation only cuts sweep count.
+	AitkenEvery int
+	// HeteroRelTol, when positive, gives the hetero blend phase an
+	// adaptive tolerance: the stage stops once its residual has shrunk
+	// by this factor relative to the first iteration (floored by
+	// Iter.Tol). Warm-started solves, whose first residual is already
+	// tiny, keep the absolute tolerance. 0 disables the schedule.
+	HeteroRelTol float64
+
 	// Trace, when set, receives one event per solver iteration from
 	// both iterative stages (phase, iteration number, residual, wall
 	// time) — the hook behind `sarank -trace`, the serving /stats
@@ -180,8 +194,15 @@ func DefaultOptions() Options {
 		WPopularity:   2,
 		WHetero:       1,
 		Normalization: NormPercentile,
+		AitkenEvery:   defaultAitkenEvery,
 	}
 }
+
+// defaultAitkenEvery is the extrapolation cadence selected when
+// Options.AitkenEvery is 0: frequent enough to realise most of the
+// iteration savings, rare enough that a rejected trial (one wasted
+// sweep) costs at most a quarter of the work.
+const defaultAitkenEvery = 4
 
 // effective returns the options with ablation switches applied.
 func (o Options) effective() Options {
@@ -195,6 +216,12 @@ func (o Options) effective() Options {
 	if o.DisableVenues {
 		o.LambdaCite += o.LambdaVenue
 		o.LambdaVenue = 0
+	}
+	switch {
+	case o.AitkenEvery == 0:
+		o.AitkenEvery = defaultAitkenEvery
+	case o.AitkenEvery < 0:
+		o.AitkenEvery = 0 // explicit disable
 	}
 	return o
 }
@@ -234,6 +261,9 @@ func (o Options) validate() error {
 	case NormPercentile, NormMinMax:
 	default:
 		return fmt.Errorf("%w: unknown normalization %d", ErrBadOptions, int(o.Normalization))
+	}
+	if o.HeteroRelTol < 0 || o.HeteroRelTol >= 1 || math.IsNaN(o.HeteroRelTol) {
+		return fmt.Errorf("%w: HeteroRelTol %v, want [0, 1)", ErrBadOptions, o.HeteroRelTol)
 	}
 	return nil
 }

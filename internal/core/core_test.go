@@ -171,7 +171,7 @@ func TestPrestigeNoDecayEqualsPlainPageRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prestige, _, err := computePrestige(net, opts, gapTrans, nil)
+	prestige, _, err := computePrestige(net.SolverView(), opts, gapTrans, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,8 @@ func TestGapWeightedGraph(t *testing.T) {
 func TestHeteroColdStartAuthorInheritance(t *testing.T) {
 	net := fixture(t)
 	opts := DefaultOptions()
-	h, stats, err := computeHetero(net, opts, sparse.NewTransition(net.Citations, nil), nil, nil)
+	view := net.SolverView()
+	h, stats, err := computeHetero(view, opts, sparse.NewTransition(view.Citations, nil), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,19 +21,26 @@ import (
 // interactive tuning — skip the O(m log m) rebuild that a fresh Rank
 // call pays.
 //
+// Both iterative stages run in solver space — the network's
+// locality-permuted projection (hetnet.SolverView) — and their score
+// vectors are mapped back to original article order at the Scores
+// boundary, so callers never observe the permutation.
+//
 // An Engine is safe for sequential use only: Rank adjusts the worker
 // pool on the cached operators. Call Close when done to release the
 // pool's goroutines; a closed (or never-used) Engine still ranks,
 // falling back to serial kernels.
 type Engine struct {
 	net      *hetnet.Network
+	view     *hetnet.SolverView
 	pool     *sparse.Pool
 	citTrans *sparse.Transition
 	gapTrans map[float64]*sparse.Transition
 	// Warm starts: the previous raw prestige solution per RhoGap, and
-	// the previous hetero solution. Fixed points do not depend on the
-	// starting vector, so warm starting is purely an iteration-count
-	// optimisation.
+	// the previous hetero solution, both kept in solver (permuted)
+	// space so a resume feeds the solver directly. Fixed points do not
+	// depend on the starting vector, so warm starting is purely an
+	// iteration-count optimisation.
 	warmPrestige map[float64][]float64
 	warmHetero   []float64
 }
@@ -56,12 +63,16 @@ func (in *InitialScores) hetero() []float64 {
 
 // warmVector selects the starting vector for an iterative stage: an
 // explicit Options.InitialScores seed wins over the engine's cached
-// previous solution; nil means cold start. Explicit seeds are
-// validated against the network size and L1-normalised on a copy
-// (solver fixed points are probability vectors; a well-scaled start
-// converges in fewer sweeps). A seed with no mass — all zeros, as
-// Resized produces for an all-new corpus — degrades to a cold start.
-func warmVector(explicit, cached []float64, n int) ([]float64, error) {
+// previous solution; nil means cold start. Explicit seeds arrive in
+// original article order (they come from a previous Scores, possibly
+// over a different permutation): they are validated against the
+// network size, L1-normalised on a copy (solver fixed points are
+// probability vectors; a well-scaled start converges in fewer
+// sweeps), and mapped into solver space through perm. The cached
+// vector is already in solver space. A seed with no mass — all zeros,
+// as Resized produces for an all-new corpus — degrades to a cold
+// start.
+func warmVector(explicit, cached []float64, n int, perm *sparse.Permutation) ([]float64, error) {
 	if explicit == nil {
 		return cached, nil
 	}
@@ -72,7 +83,7 @@ func warmVector(explicit, cached []float64, n int) ([]float64, error) {
 	if s := sparse.Normalize1(v); s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 		return nil, nil
 	}
-	return v, nil
+	return perm.Applied(v), nil
 }
 
 // NewEngine wraps a network for repeated ranking. The network must
@@ -80,6 +91,7 @@ func warmVector(explicit, cached []float64, n int) ([]float64, error) {
 func NewEngine(net *hetnet.Network) *Engine {
 	return &Engine{
 		net:          net,
+		view:         net.SolverView(),
 		gapTrans:     make(map[float64]*sparse.Transition),
 		warmPrestige: make(map[float64][]float64),
 	}
@@ -121,7 +133,7 @@ func (e *Engine) ensurePool(workers int) *sparse.Pool {
 
 func (e *Engine) citationTransition(pool *sparse.Pool) *sparse.Transition {
 	if e.citTrans == nil {
-		e.citTrans = sparse.NewTransition(e.net.Citations, pool)
+		e.citTrans = sparse.NewTransition(e.view.Citations, pool)
 	}
 	e.citTrans.SetPool(pool)
 	return e.citTrans
@@ -138,7 +150,7 @@ func (e *Engine) gapTransition(rho float64, pool *sparse.Pool) (*sparse.Transiti
 		e.gapTrans[0] = t
 		return t, nil
 	}
-	weight, err := gapWeightFunc(e.net, rho)
+	weight, err := gapWeightFunc(e.view.Years, rho)
 	if err != nil {
 		return nil, err
 	}
@@ -161,33 +173,36 @@ func (e *Engine) Rank(opts Options) (*Scores, error) {
 		}, nil
 	}
 	pool := e.ensurePool(opts.Workers)
+	perm := e.view.Perm()
 	gapTrans, err := e.gapTransition(opts.RhoGap, pool)
 	if err != nil {
 		return nil, err
 	}
-	initPrestige, err := warmVector(opts.InitialScores.prestige(), e.warmPrestige[opts.RhoGap], e.net.NumArticles())
+	initPrestige, err := warmVector(opts.InitialScores.prestige(), e.warmPrestige[opts.RhoGap], e.net.NumArticles(), perm)
 	if err != nil {
 		return nil, fmt.Errorf("core: prestige warm start: %w", err)
 	}
-	initHetero, err := warmVector(opts.InitialScores.hetero(), e.warmHetero, e.net.NumArticles())
+	initHetero, err := warmVector(opts.InitialScores.hetero(), e.warmHetero, e.net.NumArticles(), perm)
 	if err != nil {
 		return nil, fmt.Errorf("core: hetero warm start: %w", err)
 	}
-	rawPrestige, pStats, err := computePrestige(e.net, opts, gapTrans, initPrestige)
+	rawSolver, pStats, err := computePrestige(e.view, opts, gapTrans, initPrestige)
 	if err != nil {
 		return nil, err
 	}
-	e.warmPrestige[opts.RhoGap] = rawPrestige
+	e.warmPrestige[opts.RhoGap] = rawSolver
+	rawPrestige := perm.Restored(rawSolver)
 	prestige, err := applyFade(e.net, opts, rawPrestige)
 	if err != nil {
 		return nil, err
 	}
 	popularity := computePopularity(e.net, opts)
-	hetero, hStats, err := computeHetero(e.net, opts, e.citationTransition(pool), pool, initHetero)
+	heteroSolver, hStats, err := computeHetero(e.view, opts, e.citationTransition(pool), pool, initHetero)
 	if err != nil {
 		return nil, err
 	}
-	e.warmHetero = hetero
+	e.warmHetero = heteroSolver
+	hetero := perm.Restored(heteroSolver)
 	importance, err := combine(opts, prestige, popularity, hetero)
 	if err != nil {
 		return nil, err

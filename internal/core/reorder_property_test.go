@@ -1,0 +1,148 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"scholarrank/internal/corpus"
+	"scholarrank/internal/gen"
+	"scholarrank/internal/hetnet"
+	"scholarrank/internal/sparse"
+)
+
+// The tests in this file pin the tentpole invariant of the locality
+// pass: running the solvers over the permuted operator and unmapping
+// at the boundary is indistinguishable (to roundoff) from solving in
+// original article order. The unpermuted reference is obtained with
+// Store.WithoutSolverPermutation, which shares all corpus columns but
+// drops the solver permutation.
+
+// genPermutedNetwork generates a synthetic corpus whose freeze-time
+// permutation is non-identity, plus the identity-order reference
+// network over the same columns.
+func genPermutedNetwork(t testing.TB, n int, seed int64) (*corpus.Store, *hetnet.Network, *hetnet.Network) {
+	t.Helper()
+	cfg := gen.NewDefaultConfig(n)
+	cfg.Seed = seed
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Store.SolverPermutation() == nil {
+		t.Fatalf("seed %d: generated corpus froze to the identity permutation", seed)
+	}
+	return c.Store, hetnet.Build(c.Store), hetnet.Build(c.Store.WithoutSolverPermutation())
+}
+
+// TestRankReorderInvariant compares full QISA-Rank — prestige with
+// extrapolation, popularity, the hetero blend, fade and ensemble —
+// between permuted and identity-order solves of the same corpus.
+func TestRankReorderInvariant(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		_, permNet, baseNet := genPermutedNetwork(t, 500, seed)
+		opts := DefaultOptions()
+		opts.Workers = 1
+		opts.Iter = sparse.IterOptions{Tol: 1e-13, MaxIter: 2000}
+		got, err := Rank(permNet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Rank(baseNet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, pair := range map[string][2][]float64{
+			"Importance":  {got.Importance, want.Importance},
+			"Prestige":    {got.Prestige, want.Prestige},
+			"RawPrestige": {got.RawPrestige, want.RawPrestige},
+			"Popularity":  {got.Popularity, want.Popularity},
+			"Hetero":      {got.Hetero, want.Hetero},
+		} {
+			if d := sparse.MaxDiff(pair[0], pair[1]); d > 1e-12 {
+				t.Errorf("seed %d: %s deviates from identity-order solve by %v", seed, name, d)
+			}
+		}
+	}
+}
+
+// TestPrestigeReorderInvariant isolates the prestige stage (the walk
+// the reordering primarily exists for), with extrapolation both off
+// and at the default cadence.
+func TestPrestigeReorderInvariant(t *testing.T) {
+	_, permNet, baseNet := genPermutedNetwork(t, 800, 4)
+	for _, aitken := range []int{-1, 0} {
+		opts := DefaultOptions()
+		opts.Workers = 1
+		opts.AitkenEvery = aitken
+		opts.Iter = sparse.IterOptions{Tol: 1e-13, MaxIter: 2000}
+		got, err := Rank(permNet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Rank(baseNet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MaxDiff(got.RawPrestige, want.RawPrestige); d > 1e-12 {
+			t.Errorf("aitken=%d: raw prestige deviates by %v", aitken, d)
+		}
+	}
+}
+
+// growFlippingHubs thaws the store and pours citations into the last
+// article, so the re-frozen corpus gets a materially different
+// hub-first permutation.
+func growFlippingHubs(t testing.TB, s *corpus.Store) *corpus.Store {
+	t.Helper()
+	b := s.Thaw()
+	n := b.NumArticles()
+	last := corpus.ArticleID(n - 1)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddCitation(corpus.ArticleID(i), last) // duplicates merge in the graph build
+	}
+	return b.Freeze()
+}
+
+// TestWarmStartAcrossPermutationChange is the warm-start leg of the
+// invariant: scores solved under one permutation seed a solve under a
+// different permutation (the delta re-shapes the hubs), and the
+// warm-started result must match a cold solve on the grown corpus.
+func TestWarmStartAcrossPermutationChange(t *testing.T) {
+	store, permNet, _ := genPermutedNetwork(t, 500, 5)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	opts.Iter = sparse.IterOptions{Tol: 1e-13, MaxIter: 2000}
+	prev, err := Rank(permNet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown := growFlippingHubs(t, store)
+	if slices.Equal(grown.SolverPermutation().Fwd(), store.SolverPermutation().Fwd()) {
+		t.Fatal("delta did not change the permutation; the test is vacuous")
+	}
+	grownNet := hetnet.Grow(permNet, grown)
+
+	cold, err := Rank(grownNet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := opts
+	warmOpts.InitialScores = FromScores(prev, grown.NumArticles())
+	warm, err := Rank(grownNet, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PrestigeStats.Converged || !warm.HeteroStats.Converged {
+		t.Fatalf("warm solve did not converge: %+v %+v", warm.PrestigeStats, warm.HeteroStats)
+	}
+	for name, pair := range map[string][2][]float64{
+		"Importance": {warm.Importance, cold.Importance},
+		"Prestige":   {warm.Prestige, cold.Prestige},
+		"Hetero":     {warm.Hetero, cold.Hetero},
+	} {
+		if d := sparse.MaxDiff(pair[0], pair[1]); d > 1e-10 {
+			t.Errorf("%s: warm deviates from cold by %v", name, d)
+		}
+	}
+}

@@ -15,20 +15,26 @@ import (
 
 // computePrestige runs the time-weighted PageRank stage: citation
 // edges discounted by citation gap (encoded in gapTrans), teleport
-// personalised toward recent articles. init may be a previous
-// solution (warm start) or nil. The returned scores are the raw walk
-// result, before prestige fading.
-func computePrestige(net *hetnet.Network, opts Options, gapTrans *sparse.Transition, init []float64) ([]float64, sparse.IterStats, error) {
+// personalised toward recent articles. Everything here lives in
+// solver (permuted) space — gapTrans was built from view.Citations and
+// init, when non-nil, is already permuted — and the returned scores
+// are likewise solver-ordered: the caller unmaps them. The returned
+// scores are the raw walk result, before prestige fading. Aitken Δ²
+// extrapolation runs at the cadence opts.AitkenEvery (resolved by
+// effective()).
+func computePrestige(view *hetnet.SolverView, opts Options, gapTrans *sparse.Transition, init []float64) ([]float64, sparse.IterStats, error) {
 	recency, err := temporal.NewExponential(opts.RhoRecency)
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: prestige: %w", err)
 	}
-	teleport := rank.RecencyVector(net.Years, net.Now, recency)
+	teleport := rank.RecencyVector(view.Years, view.Now, recency)
 	sparse.Normalize1(teleport)
 	if init == nil {
 		init = teleport
 	}
-	scores, stats, err := sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, opts.iterFor(PhasePrestige))
+	it := opts.iterFor(PhasePrestige)
+	it.AitkenEvery = opts.AitkenEvery
+	scores, stats, err := sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, it)
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: prestige: %w", err)
 	}
@@ -59,18 +65,20 @@ func applyFade(net *hetnet.Network, opts Options, raw []float64) ([]float64, err
 // year indices — per edge the function is two array reads and a table
 // lookup, no exp and no map probe. Corpora with pathologically many
 // distinct years fall back to a map memoised per distinct gap.
-// rho = 0 reproduces uniform weights.
-func gapWeightFunc(net *hetnet.Network, rho float64) (func(u, v int32) float64, error) {
+// rho = 0 reproduces uniform weights. The yearOf slice fixes the node
+// order the returned function is indexed by, so callers weighting a
+// solver-space transition pass the solver-ordered years.
+func gapWeightFunc(yearOf []float64, rho float64) (func(u, v int32) float64, error) {
 	kernel, err := temporal.NewExponential(rho)
 	if err != nil {
 		return nil, fmt.Errorf("core: gap kernel: %w", err)
 	}
-	years := append([]float64(nil), net.Years...)
+	years := append([]float64(nil), yearOf...)
 	slices.Sort(years)
 	years = slices.Compact(years)
 	if ny := len(years); ny*ny <= 1<<16 {
-		yearIdx := make([]int32, len(net.Years))
-		for i, y := range net.Years {
+		yearIdx := make([]int32, len(yearOf))
+		for i, y := range yearOf {
 			yearIdx[i] = int32(sort.SearchFloat64s(years, y))
 		}
 		table := make([]float64, ny*ny)
@@ -89,7 +97,7 @@ func gapWeightFunc(net *hetnet.Network, rho float64) (func(u, v int32) float64, 
 	}
 	lut := make(map[float64]float64)
 	return func(u, v int32) float64 {
-		gap := net.Years[u] - net.Years[v]
+		gap := yearOf[u] - yearOf[v]
 		if gap < 0 {
 			gap = 0
 		}
@@ -107,7 +115,7 @@ func gapWeightFunc(net *hetnet.Network, rho float64) (func(u, v int32) float64, 
 // Transition.Reweighted instead; this full rebuild is kept as the
 // reference implementation the equivalence tests check against.
 func gapWeightedGraph(net *hetnet.Network, rho float64) (*graph.Graph, error) {
-	weight, err := gapWeightFunc(net, rho)
+	weight, err := gapWeightFunc(net.Years, rho)
 	if err != nil {
 		return nil, err
 	}
@@ -166,25 +174,31 @@ func computePopularity(net *hetnet.Network, opts Options) []float64 {
 // from the article→authors CSR and venue index, never materialised),
 // output sum, and next iteration's dangling mass, and ScaleDiffStep
 // folds the normalisation into the residual pass.
-func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, pool *sparse.Pool, init []float64) ([]float64, sparse.IterStats, error) {
-	n := net.NumArticles()
+//
+// Like the prestige stage the walk runs in solver space: t was built
+// from view.Citations, the view's bipartite layers carry solver
+// article ids, and the returned vector is solver-ordered. The
+// opts.HeteroRelTol schedule (when set) relaxes the stopping
+// tolerance relative to the first iteration's residual.
+func computeHetero(view *hetnet.SolverView, opts Options, t *sparse.Transition, pool *sparse.Pool, init []float64) ([]float64, sparse.IterStats, error) {
+	n := view.NumArticles()
 	recency, err := temporal.NewExponential(opts.RhoRecency)
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: hetero: %w", err)
 	}
-	r := rank.RecencyVector(net.Years, net.Now, recency)
+	r := rank.RecencyVector(view.Years, view.Now, recency)
 	sparse.Normalize1(r)
 
 	var authors, venues []float64
 	var authorLayer *sparse.AuxGather
 	var venueLayer *sparse.AuxLookup
 	if opts.LambdaAuthor > 0 {
-		authors = make([]float64, net.NumAuthors())
-		authorLayer = net.AuthorBlendLayer(authors)
+		authors = make([]float64, view.NumAuthors())
+		authorLayer = view.AuthorBlendLayer(authors)
 	}
 	if opts.LambdaVenue > 0 {
-		venues = make([]float64, net.NumVenues())
-		venueLayer = net.VenueBlendLayer(venues)
+		venues = make([]float64, view.NumVenues())
+		venueLayer = view.VenueBlendLayer(venues)
 	}
 
 	if init == nil {
@@ -195,10 +209,10 @@ func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, pool
 	step := func(dst, src []float64) float64 {
 		var aLeak, vLeak float64
 		if opts.LambdaAuthor > 0 {
-			aLeak = net.GatherArticlesToAuthorsScaledPar(pool, authors, src)
+			aLeak = view.GatherArticlesToAuthorsScaledPar(pool, authors, src)
 		}
 		if opts.LambdaVenue > 0 {
-			vLeak = net.GatherArticlesToVenuesScaledPar(pool, venues, src)
+			vLeak = view.GatherArticlesToVenuesScaledPar(pool, venues, src)
 		}
 		sum, dangNext := t.BlendStep(dst, src, r, authorLayer, venueLayer,
 			opts.LambdaCite, opts.LambdaAuthor, opts.LambdaVenue, opts.LambdaTime,
@@ -211,7 +225,11 @@ func computeHetero(net *hetnet.Network, opts Options, t *sparse.Transition, pool
 		dm = dangNext * inv
 		return res
 	}
-	scores, stats, err := sparse.FixedPointResidual(init, step, opts.iterFor(PhaseHetero))
+	it := opts.iterFor(PhaseHetero)
+	if opts.HeteroRelTol > 0 {
+		it.RelTol = opts.HeteroRelTol
+	}
+	scores, stats, err := sparse.FixedPointResidual(init, step, it)
 	if err != nil {
 		return nil, sparse.IterStats{}, err
 	}

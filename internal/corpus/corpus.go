@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"scholarrank/internal/graph"
+	"scholarrank/internal/sparse"
 )
 
 // Dense entity indices. They alias int32 so that graph.NodeID and
@@ -126,6 +127,15 @@ type Store struct {
 	venueArts    []ArticleID
 
 	citations int
+
+	// Solver-locality permutation over article ids, computed from the
+	// citation graph at Freeze (see sparse.ReorderPermutation) and
+	// persisted through SCORP. nil means identity — solvers run in
+	// original article order. The permutation never changes what any
+	// accessor returns: all columns stay in original id order, and only
+	// the solve kernels consume the permuted space.
+	perm        *sparse.Permutation
+	reorderSecs float64
 
 	lookupOnce sync.Once
 	byKey      map[string]ArticleID
@@ -258,6 +268,45 @@ func (s *Store) CitationGraph() *graph.Graph {
 	return graph.FromCSRRows(s.NumArticles(), s.refOff, s.refs)
 }
 
+// SolverPermutation returns the locality permutation the solvers
+// should run under, or nil when the store carries none (identity).
+// Score vectors produced in permuted space map back to article ids
+// through its Restore.
+func (s *Store) SolverPermutation() *sparse.Permutation { return s.perm }
+
+// ReorderSeconds reports the wall time Freeze spent computing the
+// solver permutation (zero for loaded or unpermuted stores that did
+// not pay it).
+func (s *Store) ReorderSeconds() float64 { return s.reorderSecs }
+
+// WithoutSolverPermutation returns a view of the store with the
+// solver permutation stripped, sharing every column with the
+// receiver. Solvers driven from it run in original article order —
+// the A/B handle used by the reorder property tests and benchmarks.
+func (s *Store) WithoutSolverPermutation() *Store {
+	c := &Store{
+		arena:         s.arena,
+		artKeyOff:     s.artKeyOff,
+		artTitleOff:   s.artTitleOff,
+		years:         s.years,
+		venueOf:       s.venueOf,
+		artAuthorOff:  s.artAuthorOff,
+		artAuthors:    s.artAuthors,
+		refOff:        s.refOff,
+		refs:          s.refs,
+		authorKeyOff:  s.authorKeyOff,
+		authorNameOff: s.authorNameOff,
+		authorArtOff:  s.authorArtOff,
+		authorArts:    s.authorArts,
+		venueKeyOff:   s.venueKeyOff,
+		venueNameOff:  s.venueNameOff,
+		venueArtOff:   s.venueArtOff,
+		venueArts:     s.venueArts,
+		citations:     s.citations,
+	}
+	return c
+}
+
 // TemporalViolations counts citations whose cited article is newer
 // than the citing article — metadata errors in real dumps, bugs in a
 // generator. A healthy corpus reports 0.
@@ -336,6 +385,7 @@ func (s *Store) Bytes() int64 {
 	n += 4 * int64(len(s.refs))
 	n += 4 * int64(len(s.authorArts))
 	n += 4 * int64(len(s.venueArts))
+	n += 8 * int64(s.perm.Len()) // fwd + inv maps
 	return n
 }
 

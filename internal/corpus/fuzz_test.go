@@ -106,6 +106,23 @@ func FuzzReadSCORP(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	// A corpus whose hub article arrives last, so the freeze-time
+	// locality pass produces a non-identity permutation and the seed
+	// exercises the optional v2 perm section.
+	pb := NewBuilder()
+	h0, _ := pb.AddArticle(ArticleMeta{Key: "h0", Year: 2001, Venue: NoVenue})
+	h1, _ := pb.AddArticle(ArticleMeta{Key: "h1", Year: 2002, Venue: NoVenue})
+	hub, _ := pb.AddArticle(ArticleMeta{Key: "hub", Year: 2000, Venue: NoVenue})
+	for _, from := range []ArticleID{h0, h1} {
+		if err := pb.AddCitation(from, hub); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var permed bytes.Buffer
+	if err := WriteSCORP(&permed, pb.Freeze()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(permed.Bytes())
 	var empty bytes.Buffer
 	if err := WriteSCORP(&empty, NewBuilder().Freeze()); err != nil {
 		f.Fatal(err)

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"scholarrank/internal/sparse"
 )
 
 // SCORP is the on-disk corpus format: a sectioned, checksummed binary
@@ -37,9 +39,19 @@ import (
 //	uaof/uaid   author→articles CSR
 //	vkof/vnof   venue key/name offsets      (venues+1)×i64
 //	vaof/vaid   venue→articles CSR
+//
+// Version 2 adds one optional section:
+//
+//	perm  solver-locality permutation, articles×i32 forward map
+//	      (fwd[orig] = permuted; must be a bijection)
+//
+// The section is written only when the store carries a non-identity
+// permutation, and omitted otherwise. Version 1 files (no perm
+// section) still load, with the identity permutation assumed; the
+// writer always emits the current version.
 const (
 	scorpMagic   = "SCORP"
-	scorpVersion = 1
+	scorpVersion = 2
 	// scorpMaxSections bounds the section table so a hostile header
 	// cannot demand an enormous allocation.
 	scorpMaxSections = 256
@@ -101,7 +113,7 @@ func scorpSections(s *Store) map[string][]byte {
 	binary.LittleEndian.PutUint64(meta[8:], uint64(s.NumAuthors()))
 	binary.LittleEndian.PutUint64(meta[16:], uint64(s.NumVenues()))
 	binary.LittleEndian.PutUint64(meta[24:], uint64(s.citations))
-	return map[string][]byte{
+	sections := map[string][]byte{
 		"meta": meta,
 		"arna": []byte(s.arena),
 		"akof": encodeI64s(s.artKeyOff),
@@ -121,17 +133,25 @@ func scorpSections(s *Store) map[string][]byte {
 		"vaof": encodeI64s(s.venueArtOff),
 		"vaid": encodeI32s(s.venueArts),
 	}
+	if s.perm != nil {
+		sections["perm"] = encodeI32s(s.perm.Fwd())
+	}
+	return sections
 }
 
 // WriteSCORP encodes the store in SCORP format.
 func WriteSCORP(w io.Writer, s *Store) error {
 	sections := scorpSections(s)
-	header := make([]byte, 0, scorpHeaderLen+len(scorpSectionOrder)*scorpEntryLen)
+	order := scorpSectionOrder
+	if _, ok := sections["perm"]; ok {
+		order = append(append([]string(nil), order...), "perm")
+	}
+	header := make([]byte, 0, scorpHeaderLen+len(order)*scorpEntryLen)
 	header = append(header, scorpMagic...)
 	header = append(header, scorpVersion, 0, 0)
-	header = binary.LittleEndian.AppendUint32(header, uint32(len(scorpSectionOrder)))
-	offset := uint64(scorpHeaderLen + len(scorpSectionOrder)*scorpEntryLen)
-	for _, tag := range scorpSectionOrder {
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(order)))
+	offset := uint64(scorpHeaderLen + len(order)*scorpEntryLen)
+	for _, tag := range order {
 		payload := sections[tag]
 		header = append(header, tag...)
 		header = binary.LittleEndian.AppendUint64(header, offset)
@@ -142,7 +162,7 @@ func WriteSCORP(w io.Writer, s *Store) error {
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("corpus: write SCORP header: %w", err)
 	}
-	for _, tag := range scorpSectionOrder {
+	for _, tag := range order {
 		if _, err := w.Write(sections[tag]); err != nil {
 			return fmt.Errorf("corpus: write SCORP section %q: %w", tag, err)
 		}
@@ -165,7 +185,9 @@ func DecodeSCORP(data []byte) (*Store, error) {
 	if len(data) < scorpHeaderLen || string(data[:len(scorpMagic)]) != scorpMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCorpus)
 	}
-	if v := data[len(scorpMagic)]; v != scorpVersion {
+	// Version 1 files predate the solver permutation and remain
+	// readable (the perm section is simply absent).
+	if v := data[len(scorpMagic)]; v != 1 && v != scorpVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrCorpusVersion, v)
 	}
 	count := binary.LittleEndian.Uint32(data[len(scorpMagic)+3:])
@@ -270,6 +292,18 @@ func DecodeSCORP(data []byte) (*Store, error) {
 	}
 	if s.venueArts, err = csrIDs("vaid", s.venueArtOff); err != nil {
 		return nil, err
+	}
+	if sec, ok := sections["perm"]; ok {
+		if uint64(len(sec)) != nArt*4 {
+			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, "perm", len(sec), nArt*4)
+		}
+		// The stored permutation is kept verbatim — even an identity one
+		// — so re-encoding reproduces the input bytes exactly.
+		perm, perr := sparse.NewPermutation(decodeI32s(sec))
+		if perr != nil {
+			return nil, fmt.Errorf("%w: perm section: %v", ErrBadCorpus, perr)
+		}
+		s.perm = perm
 	}
 	if err := s.validate(); err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -157,6 +158,118 @@ func TestSCORPRejectsInconsistentColumns(t *testing.T) {
 	}
 	if _, err := DecodeSCORP(buf.Bytes()); !errors.Is(err, ErrSelfCitation) {
 		t.Errorf("self-citation accepted: %v", err)
+	}
+}
+
+// buildPermuted returns a frozen store whose hub-first solver
+// permutation is non-identity: the most-cited article is added last,
+// so the locality pass must move it to permuted id 0.
+func buildPermuted(t *testing.T) *Store {
+	t.Helper()
+	b := NewBuilder()
+	p0, err := b.AddArticle(ArticleMeta{Key: "p0", Year: 2001, Venue: NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := b.AddArticle(ArticleMeta{Key: "p1", Year: 2002, Venue: NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := b.AddArticle(ArticleMeta{Key: "hub", Year: 2000, Venue: NoVenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []ArticleID{p0, p1} {
+		if err := b.AddCitation(from, hub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.Freeze()
+	if s.SolverPermutation() == nil {
+		t.Fatal("expected a non-identity solver permutation")
+	}
+	return s
+}
+
+func TestSCORPPermRoundTrip(t *testing.T) {
+	s := buildPermuted(t)
+	var buf bytes.Buffer
+	if err := WriteSCORP(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSCORP(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+	gp := got.SolverPermutation()
+	if gp == nil {
+		t.Fatal("perm section lost in round trip")
+	}
+	want, have := s.SolverPermutation().Fwd(), gp.Fwd()
+	if len(want) != len(have) {
+		t.Fatalf("perm length %d vs %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Errorf("perm fwd[%d] = %d, want %d", i, have[i], want[i])
+		}
+	}
+	var again bytes.Buffer
+	if err := WriteSCORP(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("re-encode with perm section is not byte-stable")
+	}
+}
+
+// TestSCORPVersion1StillLoads verifies backward compatibility: a file
+// with the pre-permutation version byte and no perm section decodes,
+// yielding the identity (nil) permutation.
+func TestSCORPVersion1StillLoads(t *testing.T) {
+	s := buildTiny(t).WithoutSolverPermutation()
+	var buf bytes.Buffer
+	if err := WriteSCORP(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(scorpMagic)] = 1 // version byte is outside any section CRC
+	got, err := DecodeSCORP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCorpus(t, s, got)
+	if got.SolverPermutation() != nil {
+		t.Error("version 1 file produced a permutation")
+	}
+}
+
+// TestSCORPCorruptPermRejected forges a CRC-valid perm section that
+// is not a bijection and requires semantic rejection.
+func TestSCORPCorruptPermRejected(t *testing.T) {
+	s := buildPermuted(t)
+	var buf bytes.Buffer
+	if err := WriteSCORP(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The perm section is the last table entry; rewrite its payload to
+	// a duplicate-id map and refresh the CRC so only bijection
+	// validation can reject it.
+	entry := raw[scorpHeaderLen+(len(scorpSectionOrder))*scorpEntryLen:]
+	if tag := string(entry[:4]); tag != "perm" {
+		t.Fatalf("last section is %q, want perm", tag)
+	}
+	off := binary.LittleEndian.Uint64(entry[4:])
+	length := binary.LittleEndian.Uint64(entry[12:])
+	payload := raw[off : off+length]
+	for i := range payload {
+		payload[i] = 0 // fwd = [0,0,0]: every article maps to id 0
+	}
+	binary.LittleEndian.PutUint32(entry[20:], crc32.ChecksumIEEE(payload))
+	if _, err := DecodeSCORP(raw); !errors.Is(err, ErrBadCorpus) {
+		t.Errorf("duplicate perm accepted: %v", err)
 	}
 }
 

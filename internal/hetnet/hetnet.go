@@ -58,6 +58,11 @@ type Network struct {
 	authorChunks  []int32            // edge-balanced partitions for the pool
 	venueChunks   []int32
 	articleChunks []int32
+
+	// Solver-order projection through the store's locality
+	// permutation, built lazily on first SolverView call.
+	solverOnce sync.Once
+	solver     *SolverView
 }
 
 // Build indexes the corpus into a Network. The store must not be
@@ -116,6 +121,10 @@ func Grow(old *Network, s *corpus.Store) *Network {
 	n.venueChunks = old.venueChunks
 	n.articleChunks = old.articleChunks
 	n.pullOnce.Do(func() {}) // mark the copied pull index as built
+	// The solver view is deliberately NOT carried over: it projects
+	// through the store's locality permutation, and the permutation is
+	// recomputed at every freeze because new citations reshape the hub
+	// structure. The grown network rebuilds its view on first use.
 	return n
 }
 

@@ -162,6 +162,7 @@ func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
 	}
 	s.engine = eng
 	s.metrics.swap(source)
+	s.metrics.solve(scores)
 	// Iterations the warm start avoided, with the previous
 	// generation's solve standing in for the cold baseline — a small
 	// delta's cold re-solve costs about what the previous solve did.

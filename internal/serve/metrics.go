@@ -19,6 +19,9 @@ const (
 	metricSolverIters       = "sarserve_solver_iterations"
 	metricSolverResidual    = "sarserve_solver_residual"
 	metricSolverSeconds     = "sarserve_solver_phase_seconds"
+	metricReorderSecs       = "sarserve_solver_reorder_seconds"
+	metricExtrapolations    = "sarserve_solver_extrapolations_total"
+	metricItersSaved        = "sarserve_solver_iterations_saved"
 	metricPoolWorkers       = "sarserve_solver_pool_workers"
 	metricPoolSweeps        = "sarserve_solver_pool_sweeps"
 	metricCorpusBytes       = "sarserve_corpus_bytes"
@@ -35,6 +38,7 @@ type serveMetrics struct {
 	http *obs.HTTPMetrics
 
 	warmSaved         *obs.Counter
+	extrapolations    *obs.Counter
 	ingestApplied     *obs.Counter
 	ingestQuarantined *obs.Counter
 }
@@ -50,11 +54,19 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		http: obs.NewHTTPMetrics(reg),
 		warmSaved: reg.Counter(metricWarmSaved,
 			"Solver iterations avoided by warm-starting re-solves, versus the previous generation's solve.", nil),
+		extrapolations: reg.Counter(metricExtrapolations,
+			"Accepted Aitken extrapolation steps across every solve this process has run.", nil),
 		ingestApplied: reg.Counter(metricIngestApplied,
 			"Delta batches folded into the corpus (HTTP bodies and spool files).", nil),
 		ingestQuarantined: reg.Counter(metricIngestQuarantined,
 			"Malformed spool delta files renamed aside as *.err.", nil),
 	}
+}
+
+// solve accrues the per-solve acceleration counters after a ranking
+// completes (the boot solve and every rebuild).
+func (m *serveMetrics) solve(sc *core.Scores) {
+	m.extrapolations.Add(uint64(sc.PrestigeStats.Extrapolations + sc.HeteroStats.Extrapolations))
 }
 
 // swap counts one generation swap by source ("ingest" or "reload").
@@ -109,6 +121,21 @@ func (m *serveMetrics) observeServer(s *Server) {
 			"Wall time of the last solve by phase, in seconds.", obs.Labels{"phase": phase},
 			func() float64 { return get().Elapsed.Seconds() })
 	}
+
+	m.reg.GaugeFunc(metricItersSaved,
+		"Estimated plain power-iteration sweeps the last solve's extrapolations avoided.", nil,
+		func() float64 {
+			sc := scores()
+			return float64(sc.PrestigeStats.IterationsSaved + sc.HeteroStats.IterationsSaved)
+		})
+	m.reg.GaugeFunc(metricReorderSecs,
+		"Wall time the serving corpus's freeze-time locality reordering took.", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return g.store.ReorderSeconds()
+			}
+			return 0
+		})
 
 	m.reg.GaugeFunc(metricPoolWorkers,
 		"Worker-pool parallelism of the last solve.", nil,

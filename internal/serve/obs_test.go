@@ -42,6 +42,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sarserve_ranking_version 1",
 		"# TYPE sarserve_solver_iterations gauge",
 		"# TYPE sarserve_ranking_staleness_seconds gauge",
+		"# TYPE sarserve_solver_extrapolations_total counter",
+		"# TYPE sarserve_solver_iterations_saved gauge",
+		"# TYPE sarserve_solver_reorder_seconds gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)
@@ -119,7 +122,11 @@ func TestPprofOptIn(t *testing.T) {
 func TestStatsSurfacesSolverTiming(t *testing.T) {
 	rec := get(t, fixtureServer(t).Handler(), "/stats")
 	body := rec.Body.String()
-	for _, key := range []string{"prestige_seconds", "hetero_seconds", "prestige_residual", "solver_workers", "solver_pool_sweeps"} {
+	for _, key := range []string{
+		"prestige_seconds", "hetero_seconds", "prestige_residual",
+		"solver_workers", "solver_pool_sweeps",
+		"solver_reorder_seconds", "solver_extrapolations", "solver_iterations_saved",
+	} {
 		if !strings.Contains(body, `"`+key+`"`) {
 			t.Errorf("/stats missing %q: %s", key, body)
 		}

@@ -123,6 +123,7 @@ func NewWithConfig(store *corpus.Store, cfg Config) (*Server, error) {
 	}
 	s.gen.Store(gen)
 	s.engine = eng
+	s.metrics.solve(scores)
 	s.startRefresher()
 	return s, nil
 }
@@ -488,29 +489,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{
-		"articles":            g.store.NumArticles(),
-		"citations":           g.store.NumCitations(),
-		"authors":             g.store.NumAuthors(),
-		"venues":              g.store.NumVenues(),
-		"nonzero_importance":  nonZero,
-		"prestige_iters":      g.scores.PrestigeStats.Iterations,
-		"hetero_iters":        g.scores.HeteroStats.Iterations,
-		"prestige_converged":  g.scores.PrestigeStats.Converged,
-		"hetero_converged":    g.scores.HeteroStats.Converged,
-		"prestige_residual":   g.scores.PrestigeStats.Residual,
-		"hetero_residual":     g.scores.HeteroStats.Residual,
-		"prestige_seconds":    g.scores.PrestigeStats.Elapsed.Seconds(),
-		"hetero_seconds":      g.scores.HeteroStats.Elapsed.Seconds(),
-		"solver_workers":      g.scores.Pool.Workers,
-		"solver_pool_sweeps":  g.scores.Pool.Runs,
-		"importance_top_mean": topMean(imp, g.order, 100),
-		"version":             g.version,
-		"source":              g.source,
-		"corpus_bytes":        g.store.Bytes(),
-		"corpus_load_seconds": s.cfg.CorpusLoadSeconds,
-		"corpus_fingerprint":  fmt.Sprintf("%016x", g.fingerprint),
-		"ranked_at":           g.rankedAt.UTC().Format(time.RFC3339),
-		"staleness_seconds":   int64(s.clock().Sub(g.rankedAt).Seconds()),
+		"articles":                g.store.NumArticles(),
+		"citations":               g.store.NumCitations(),
+		"authors":                 g.store.NumAuthors(),
+		"venues":                  g.store.NumVenues(),
+		"nonzero_importance":      nonZero,
+		"prestige_iters":          g.scores.PrestigeStats.Iterations,
+		"hetero_iters":            g.scores.HeteroStats.Iterations,
+		"prestige_converged":      g.scores.PrestigeStats.Converged,
+		"hetero_converged":        g.scores.HeteroStats.Converged,
+		"prestige_residual":       g.scores.PrestigeStats.Residual,
+		"hetero_residual":         g.scores.HeteroStats.Residual,
+		"prestige_seconds":        g.scores.PrestigeStats.Elapsed.Seconds(),
+		"hetero_seconds":          g.scores.HeteroStats.Elapsed.Seconds(),
+		"solver_workers":          g.scores.Pool.Workers,
+		"solver_pool_sweeps":      g.scores.Pool.Runs,
+		"solver_reorder_seconds":  g.store.ReorderSeconds(),
+		"solver_extrapolations":   g.scores.PrestigeStats.Extrapolations + g.scores.HeteroStats.Extrapolations,
+		"solver_iterations_saved": g.scores.PrestigeStats.IterationsSaved + g.scores.HeteroStats.IterationsSaved,
+		"importance_top_mean":     topMean(imp, g.order, 100),
+		"version":                 g.version,
+		"source":                  g.source,
+		"corpus_bytes":            g.store.Bytes(),
+		"corpus_load_seconds":     s.cfg.CorpusLoadSeconds,
+		"corpus_fingerprint":      fmt.Sprintf("%016x", g.fingerprint),
+		"ranked_at":               g.rankedAt.UTC().Format(time.RFC3339),
+		"staleness_seconds":       int64(s.clock().Sub(g.rankedAt).Seconds()),
 	})
 }
 

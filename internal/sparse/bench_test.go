@@ -12,8 +12,8 @@ import (
 // benchGraph builds a citation-shaped random graph: each node cites
 // ~12 earlier nodes chosen uniformly, giving a mildly skewed
 // in-degree distribution.
-func benchGraph(b *testing.B, n int) *graph.Graph {
-	b.Helper()
+func benchGraph(tb testing.TB, n int) *graph.Graph {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(1))
 	gb := graph.NewBuilder(n, false)
 	for i := 1; i < n; i++ {
@@ -29,8 +29,8 @@ func benchGraph(b *testing.B, n int) *graph.Graph {
 // current in-degree (plus one), producing the heavy-tailed in-degree
 // typical of real citation networks — the worst case for row-count
 // partitioning and the case the edge-balanced chunk plan exists for.
-func benchGraphPowerLaw(b *testing.B, n int) *graph.Graph {
-	b.Helper()
+func benchGraphPowerLaw(tb testing.TB, n int) *graph.Graph {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(2))
 	gb := graph.NewBuilder(n, false)
 	// targets holds one entry per (in-edge + node), so sampling a
@@ -108,7 +108,7 @@ func unfusedDampedStep(t *Transition, dst, src, teleport []float64, damping floa
 	return L1Diff(dst, src)
 }
 
-func benchDampedStep(b *testing.B, build func(*testing.B, int) *graph.Graph, fused bool) {
+func benchDampedStep(b *testing.B, build func(testing.TB, int) *graph.Graph, fused bool) {
 	g := build(b, 50_000)
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
@@ -156,6 +156,47 @@ func BenchmarkDampedWalk(b *testing.B) {
 		if _, _, err := DampedWalk(t, 0.85, teleport, IterOptions{Tol: 1e-9}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchDampedWalkPowerLaw is the headline benchmark for the locality
+// pass: the full damped-walk solve on an n-node preferential-
+// attachment graph, in original ingest order and under the hub-first
+// reordering, plus the reordered operator with Aitken Δ² extrapolation
+// on top (EXPERIMENTS.md §E2 records the reference numbers).
+func benchDampedWalkPowerLaw(b *testing.B, n int) {
+	g := benchGraphPowerLaw(b, n)
+	rg, _ := Reorder(g)
+	run := func(g *graph.Graph, opts IterOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			t := NewTransition(g, nil)
+			teleport := make([]float64, t.N())
+			Uniform(teleport)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := DampedWalk(t, 0.85, teleport, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("original", run(g, IterOptions{Tol: 1e-9}))
+	b.Run("reordered", run(rg, IterOptions{Tol: 1e-9}))
+	b.Run("reordered-aitken", run(rg, IterOptions{Tol: 1e-9, AitkenEvery: 4}))
+}
+
+func BenchmarkDampedWalkPowerLaw20k(b *testing.B)  { benchDampedWalkPowerLaw(b, 20_000) }
+func BenchmarkDampedWalkPowerLaw100k(b *testing.B) { benchDampedWalkPowerLaw(b, 100_000) }
+
+// BenchmarkReorderPermutation prices the locality pass itself — the
+// one-time cost paid at corpus.Freeze.
+func BenchmarkReorderPermutation(b *testing.B) {
+	g := benchGraphPowerLaw(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ReorderPermutation(g)
 	}
 }
 

@@ -3,6 +3,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -31,6 +32,19 @@ type IterOptions struct {
 	// live-observability hook behind core.Options.Trace. It runs on
 	// the solver goroutine; keep it cheap.
 	OnIteration func(IterEvent)
+	// RelTol, when positive, makes the stopping threshold adaptive:
+	// the effective tolerance becomes max(Tol, RelTol × r₁) where r₁
+	// is the first iteration's residual. Warm starts (small r₁) keep
+	// the tight absolute Tol; cold solves on large systems stop once
+	// the residual has contracted by the requested factor instead of
+	// chasing a fixed absolute target.
+	RelTol float64
+	// AitkenEvery, when positive, enables guarded Aitken Δ² vector
+	// extrapolation every AitkenEvery iterations in the drivers that
+	// support it (FixedPointExtrapolated, and DampedWalk/DampedWalkFrom
+	// which route through it). FixedPoint and FixedPointResidual ignore
+	// the field. See FixedPointExtrapolated for the guard condition.
+	AitkenEvery int
 }
 
 // IterEvent describes one completed fixed-point iteration.
@@ -50,8 +64,9 @@ func (o IterOptions) withDefaults() (IterOptions, error) {
 	if o.MaxIter == 0 {
 		o.MaxIter = DefaultMaxIter
 	}
-	if o.Tol < 0 || o.MaxIter < 0 {
-		return o, fmt.Errorf("%w: tol=%v maxIter=%d", ErrBadOptions, o.Tol, o.MaxIter)
+	if o.Tol < 0 || o.MaxIter < 0 || o.RelTol < 0 || o.AitkenEvery < 0 {
+		return o, fmt.Errorf("%w: tol=%v maxIter=%d relTol=%v aitkenEvery=%d",
+			ErrBadOptions, o.Tol, o.MaxIter, o.RelTol, o.AitkenEvery)
 	}
 	return o, nil
 }
@@ -63,6 +78,15 @@ type IterStats struct {
 	Converged     bool
 	Elapsed       time.Duration // wall time of the whole iteration loop
 	ResidualTrace []float64     // per-iteration residuals when Trace was set
+
+	// Extrapolations counts accepted Aitken Δ² steps (zero unless
+	// AitkenEvery was set and the driver supports it).
+	Extrapolations int
+	// IterationsSaved estimates the plain power-iteration sweeps the
+	// accepted extrapolations avoided, from the observed contraction
+	// rate, net of the sweeps wasted on rejected trials. It is an
+	// estimate for observability, not an exact count.
+	IterationsSaved int
 }
 
 // StepFunc computes one fixed-point step: given the current vector
@@ -106,6 +130,13 @@ func DampedWalkFrom(t *Transition, damping float64, teleport, init []float64, op
 		dm = dmNext
 		return res
 	}
+	if opts.AitkenEvery > 0 {
+		// The extrapolated driver restarts the iteration from vectors
+		// the step never produced, so the pipelined dangling mass must
+		// be recomputed whenever the source vector changes under it.
+		reseed := func(x []float64) { dm = t.DanglingMass(x) }
+		return FixedPointExtrapolated(init, step, reseed, opts)
+	}
 	return FixedPointResidual(init, step, opts)
 }
 
@@ -122,10 +153,12 @@ func FixedPoint(init []float64, step StepFunc, opts IterOptions) ([]float64, Ite
 }
 
 // FixedPointResidual iterates x ← step(x) until the residual reported
-// by the step drops below Tol or MaxIter is reached. It is the fused
-// counterpart of FixedPoint: the driver itself never touches the
-// vectors, so a step backed by the fused kernels makes the whole
-// iteration a single sweep.
+// by the step drops below the effective tolerance (Tol, raised to
+// RelTol × first residual when RelTol is set) or MaxIter is reached.
+// It is the fused counterpart of FixedPoint: the driver itself never
+// touches the vectors, so a step backed by the fused kernels makes the
+// whole iteration a single sweep. AitkenEvery is ignored here; use
+// FixedPointExtrapolated for the accelerated driver.
 func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions) ([]float64, IterStats, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -134,6 +167,7 @@ func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions)
 	cur := Clone(init)
 	next := make([]float64, len(init))
 	var st IterStats
+	tol := opts.Tol
 	start := time.Now()
 	iterStart := start
 	for st.Iterations = 1; st.Iterations <= opts.MaxIter; st.Iterations++ {
@@ -151,13 +185,211 @@ func FixedPointResidual(init []float64, step ResidualStepFunc, opts IterOptions)
 			iterStart = now
 		}
 		cur, next = next, cur
-		if st.Residual < opts.Tol {
+		if st.Iterations == 1 {
+			if rt := opts.RelTol * st.Residual; rt > tol {
+				tol = rt
+			}
+		}
+		if st.Residual < tol {
 			st.Converged = true
 			break
 		}
 	}
 	if st.Iterations > opts.MaxIter {
 		st.Iterations = opts.MaxIter
+	}
+	st.Elapsed = time.Since(start)
+	return cur, st, nil
+}
+
+// aitkenStep writes the vector Aitken Δ² extrapolation of the four
+// consecutive iterates x0, x1 = step(x0), x2 = step(x1), x3 = step(x2)
+// into dst. It is the minimal-residual (least-squares) form of Δ²:
+// where scalar Aitken divides the squared first difference by the
+// second difference component-wise, the vector form picks the affine
+// combination of the three most recent step results whose combined
+// update Δ-vector
+//
+//	a·(x1-x0) + b·(x2-x1) + (1-a-b)·(x3-x2)
+//
+// has minimal L2 norm — for a linear fixed-point map this cancels the
+// two dominant error modes at once (scalar Δ² is the special case of
+// a single mode), and it has no per-component denominators to divide
+// noise by noise. The extrapolant is dst = a·x1 + b·x2 + (1-a-b)·x3.
+// Negative components are clamped to zero so dst stays a valid
+// (unnormalised) probability vector. It reports false when the normal
+// equations are singular (the updates are already linearly dependent,
+// e.g. at convergence), in which case dst is untouched.
+func aitkenStep(dst, x0, x1, x2, x3 []float64) bool {
+	var uu, uv, vv, uw, vw float64
+	for i := range dst {
+		f1 := x1[i] - x0[i]
+		f2 := x2[i] - x1[i]
+		f3 := x3[i] - x2[i]
+		u := f1 - f3
+		v := f2 - f3
+		uu += u * u
+		uv += u * v
+		vv += v * v
+		uw -= u * f3
+		vw -= v * f3
+	}
+	det := uu*vv - uv*uv
+	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+		return false
+	}
+	a := (uw*vv - vw*uv) / det
+	b := (vw*uu - uw*uv) / det
+	c := 1 - a - b
+	for i := range dst {
+		y := a*x1[i] + b*x2[i] + c*x3[i]
+		if y < 0 || math.IsNaN(y) {
+			y = 0
+		}
+		dst[i] = y
+	}
+	return true
+}
+
+// FixedPointExtrapolated is FixedPointResidual with guarded vector
+// Aitken Δ² extrapolation layered on top. Every AitkenEvery sweeps
+// (once four consecutive iterates are available) it forms the
+// minimal-residual Δ² extrapolant y (see aitkenStep), renormalises it,
+// and takes one trial step from y. The trial is accepted only if its
+// residual is strictly below the last plain residual — the guard that
+// makes the driver safe: an accepted trial continues the iteration
+// from a vector whose distance to the fixed point is provably smaller
+// (the residual bounds it), and a rejected trial is discarded, so the
+// sequence can never diverge past plain power iteration. The cost of
+// a rejection is the one wasted sweep, bounded overall by
+// 1/AitkenEvery of the total work.
+//
+// reseed, when non-nil, is called with the source vector before every
+// step the driver takes from a vector the step function did not itself
+// produce (the extrapolant on a trial, the retained iterate after a
+// rejection). Steps that pipeline state across iterations — DampedStep
+// carrying the dangling mass of the vector it produced — use it to
+// re-prime that state.
+//
+// Iterations in the returned stats counts every sweep taken, including
+// rejected trials, so wall-clock comparisons against the plain driver
+// stay honest; the trace likewise records every sweep's residual (a
+// rejected trial can appear as a non-monotone entry). The driver keeps
+// three history vectors plus the extrapolant — 4n floats beyond the
+// plain driver's working set.
+func FixedPointExtrapolated(init []float64, step ResidualStepFunc, reseed func([]float64), opts IterOptions) ([]float64, IterStats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	if opts.AitkenEvery == 0 {
+		return FixedPointResidual(init, step, opts)
+	}
+	n := len(init)
+	cur := Clone(init)
+	next := make([]float64, n)
+	// Ring of the three iterates preceding cur: after the history
+	// shift at the top of the loop, h2 = x_{k-1}, h1 = x_{k-2},
+	// h0 = x_{k-3} while cur advances to x_k.
+	h0 := make([]float64, n)
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+	y := make([]float64, n)
+	histFill := 0
+	sinceTrial := 0
+	var st IterStats
+	tol := opts.Tol
+	lambda := math.NaN()       // estimated contraction rate r_k / r_{k-1}
+	prevPlainRes := math.NaN() // residual of the previous plain step
+	savedEst := 0.0
+	start := time.Now()
+	iterStart := start
+	sweeps := 0
+	record := func(res float64) {
+		sweeps++
+		if opts.Trace {
+			st.ResidualTrace = append(st.ResidualTrace, res)
+		}
+		if opts.OnIteration != nil {
+			now := time.Now()
+			opts.OnIteration(IterEvent{Iteration: sweeps, Residual: res, Elapsed: now.Sub(iterStart)})
+			iterStart = now
+		}
+	}
+	for sweeps < opts.MaxIter {
+		h0, h1, h2 = h1, h2, h0
+		copy(h2, cur)
+		if histFill < 3 {
+			histFill++
+		}
+		res := step(next, cur)
+		record(res)
+		sinceTrial++
+		if !math.IsNaN(prevPlainRes) && prevPlainRes > 0 && res > 0 {
+			lambda = res / prevPlainRes
+		}
+		prevPlainRes = res
+		cur, next = next, cur
+		st.Residual = res
+		if sweeps == 1 {
+			if rt := opts.RelTol * res; rt > tol {
+				tol = rt
+			}
+		}
+		if res < tol {
+			st.Converged = true
+			break
+		}
+		if histFill < 3 || sinceTrial < opts.AitkenEvery || sweeps >= opts.MaxIter {
+			continue
+		}
+		// h0..h2, cur are four consecutive iterates: extrapolate and
+		// take one guarded trial step from the extrapolant.
+		if !aitkenStep(y, h0, h1, h2, cur) {
+			continue
+		}
+		if s := Normalize1(y); s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		if reseed != nil {
+			reseed(y)
+		}
+		trialRes := step(next, y)
+		record(trialRes)
+		sinceTrial = 0
+		if trialRes < res {
+			// Accept: continue from step(y). Seed the history with y so
+			// the next extrapolation again sees consecutive iterates of
+			// the same orbit (the shift above refills h0/h1 from the
+			// continuing sequence).
+			st.Extrapolations++
+			if lambda > 0 && lambda < 1 {
+				if plainSweeps := math.Log(trialRes/res) / math.Log(lambda); plainSweeps > 1 {
+					savedEst += plainSweeps - 1
+				}
+			}
+			copy(h2, y)
+			histFill = 1
+			prevPlainRes = trialRes
+			cur, next = next, cur
+			st.Residual = trialRes
+			if trialRes < tol {
+				st.Converged = true
+				break
+			}
+		} else {
+			// Reject: drop the trial and continue from x_k, re-priming
+			// any pipelined step state for it. The wasted sweep counts
+			// against the savings estimate.
+			savedEst--
+			if reseed != nil {
+				reseed(cur)
+			}
+		}
+	}
+	st.Iterations = sweeps
+	if savedEst > 0 {
+		st.IterationsSaved = int(savedEst + 0.5)
 	}
 	st.Elapsed = time.Since(start)
 	return cur, st, nil

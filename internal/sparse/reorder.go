@@ -1,0 +1,206 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"scholarrank/internal/graph"
+)
+
+// Permutation is a validated bijection on [0, n) relating an original
+// node order to a solver (permuted) order: fwd[orig] = permuted and
+// inv[permuted] = orig. It is immutable after construction and safe
+// for concurrent readers.
+//
+// A nil *Permutation is valid everywhere and means the identity: the
+// Applied/Restored conveniences return their input unchanged, which
+// preserves the aliasing behaviour callers had before the reorder pass
+// existed.
+type Permutation struct {
+	fwd []int32
+	inv []int32
+}
+
+// NewPermutation validates fwd as a bijection on [0, len(fwd)) and
+// returns the permutation. The slice is copied, not retained.
+func NewPermutation(fwd []int32) (*Permutation, error) {
+	n := len(fwd)
+	p := &Permutation{
+		fwd: append([]int32(nil), fwd...),
+		inv: make([]int32, n),
+	}
+	seen := make([]bool, n)
+	for u, nu := range p.fwd {
+		if int(nu) < 0 || int(nu) >= n || seen[nu] {
+			return nil, fmt.Errorf("sparse: permutation is not a bijection at %d -> %d", u, nu)
+		}
+		seen[nu] = true
+		p.inv[nu] = int32(u)
+	}
+	return p, nil
+}
+
+// Len returns the number of elements the permutation acts on. A nil
+// permutation has length 0.
+func (p *Permutation) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.fwd)
+}
+
+// Fwd returns the original→permuted map. The slice aliases internal
+// storage and must not be modified. It is nil for a nil permutation.
+func (p *Permutation) Fwd() []int32 {
+	if p == nil {
+		return nil
+	}
+	return p.fwd
+}
+
+// Inv returns the permuted→original map. The slice aliases internal
+// storage and must not be modified. It is nil for a nil permutation.
+func (p *Permutation) Inv() []int32 {
+	if p == nil {
+		return nil
+	}
+	return p.inv
+}
+
+// IsIdentity reports whether the permutation maps every element to
+// itself. A nil permutation is the identity.
+func (p *Permutation) IsIdentity() bool {
+	if p == nil {
+		return true
+	}
+	for i, v := range p.fwd {
+		if int32(i) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply scatters src (original order) into dst (permuted order):
+// dst[fwd[i]] = src[i]. The slices must have length Len() and must not
+// alias.
+func (p *Permutation) Apply(dst, src []float64) {
+	for i, nu := range p.fwd {
+		dst[nu] = src[i]
+	}
+}
+
+// Restore gathers src (permuted order) back into dst (original
+// order): dst[i] = src[fwd[i]]. The slices must have length Len() and
+// must not alias.
+func (p *Permutation) Restore(dst, src []float64) {
+	for i, nu := range p.fwd {
+		dst[i] = src[nu]
+	}
+}
+
+// Applied returns src mapped into permuted order. A nil permutation
+// returns src itself (no copy); otherwise a fresh slice is returned.
+func (p *Permutation) Applied(src []float64) []float64 {
+	if p == nil {
+		return src
+	}
+	dst := make([]float64, len(src))
+	p.Apply(dst, src)
+	return dst
+}
+
+// Restored returns src mapped back into original order. A nil
+// permutation returns src itself (no copy); otherwise a fresh slice is
+// returned.
+func (p *Permutation) Restored(src []float64) []float64 {
+	if p == nil {
+		return src
+	}
+	dst := make([]float64, len(src))
+	p.Restore(dst, src)
+	return dst
+}
+
+// ReorderPermutation computes a locality-oriented relabelling of g for
+// the pull-form solve kernels. The heuristic is hub-first with a
+// BFS/child-clustering tiebreak, run over the transposed graph because
+// that is the structure the kernels iterate: the pull sweep
+// (Mᵀx)[v] = Σ_{u→v} x[u]·norm gathers x over the in-neighbours of
+// each destination row, so locality is governed by how compact each
+// row's citer set is in id space.
+//
+//   - Seeds are taken in descending in-degree order (ties by original
+//     id, so the result is deterministic). Citation in-degree is the
+//     heavy-tailed direction — hubs with five-figure citer sets own
+//     the largest gathers, and they get the lowest ids.
+//   - From each seed a BFS over in-edges assigns consecutive new ids
+//     in visit order, enqueueing each node's unvisited citers in
+//     descending in-degree order. A hub's citers therefore land in one
+//     contiguous id block (child clustering), turning the hub row's
+//     gather from a scatter across the whole vector into a walk over a
+//     few cache lines; consecutive rows likewise share overlapping
+//     source windows through co-citation.
+//
+// The permutation changes only the iteration order of floating-point
+// sums, never the fixed point being computed: solving in permuted
+// space and mapping back through Restore agrees with the unpermuted
+// solve to roundoff (see the property tests).
+func ReorderPermutation(g *graph.Graph) *Permutation {
+	n := g.NumNodes()
+	rg := g.Transpose() // rg.Neighbors(v) = citers of v; rg out-degree = in-degree of g
+	deg := rg.OutDegrees()
+	seeds := make([]int32, n)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	byDegree := func(a, b int32) bool {
+		if deg[a] != deg[b] {
+			return deg[a] > deg[b]
+		}
+		return a < b
+	}
+	sort.Slice(seeds, func(i, j int) bool { return byDegree(seeds[i], seeds[j]) })
+
+	fwd := make([]int32, n)
+	inv := make([]int32, 0, n)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	scratch := make([]int32, 0, 64)
+	next := int32(0)
+	for _, s := range seeds {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			fwd[u] = next
+			next++
+			inv = append(inv, u)
+			scratch = append(scratch[:0], rg.Neighbors(u)...)
+			sort.Slice(scratch, func(i, j int) bool { return byDegree(scratch[i], scratch[j]) })
+			for _, v := range scratch {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return &Permutation{fwd: fwd, inv: inv}
+}
+
+// Reorder is the standalone entry point for callers holding a bare
+// graph: it computes the locality permutation and returns the
+// relabelled graph alongside it. Transitions built from the returned
+// graph automatically get chunk plans recomputed for the permuted
+// offsets (NewTransition derives them from the CSR it builds).
+func Reorder(g *graph.Graph) (*graph.Graph, *Permutation) {
+	p := ReorderPermutation(g)
+	if p.IsIdentity() {
+		return g, p
+	}
+	return g.Permute(p.fwd), p
+}
