@@ -54,9 +54,10 @@ bench-quick:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-## bench-json: machine-readable benchmark artifact. Runs the
+## bench-json: machine-readable benchmark artifacts. Runs the
 ## reordering/extrapolation walk benchmark and the end-to-end parallel
-## solve (quick corpus), then folds both into BENCH_5.json via
+## solve (quick corpus) into BENCH_5.json, then the 100k corpus
+## boot-time benchmark (mmap vs heap) into BENCH_6.json, via
 ## cmd/benchjson.
 bench-json:
 	@{ \
@@ -64,3 +65,6 @@ bench-json:
 		$(GO) test ./internal/sparse/ -run xxx -bench 'BenchmarkDampedWalkPowerLaw|BenchmarkReorderPermutation' -benchtime 5x -benchmem ; \
 	} | tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_5.json
 	@echo "wrote BENCH_5.json"
+	@$(GO) test ./internal/corpus/ -run xxx -bench 'BenchmarkSCORPBoot' -benchtime 20x -benchmem \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_6.json
+	@echo "wrote BENCH_6.json"

@@ -31,16 +31,21 @@
 //
 //	sarserve -in corpus.jsonl -addr :8080
 //	sarserve -in corpus.jsonl -scores ranking.snap        # boot without solving
-//	sarserve -corpus corpus.scorp -scores ranking.snap    # zero-parse boot
+//	sarserve -corpus corpus.scorp -scores ranking.snap    # zero-copy mmap boot
+//	sarserve -corpus corpus.scorp -mmap=false             # force the heap loader
 //	sarserve -in corpus.jsonl -spool deltas/ -refresh 30s # live updates
 //	sarserve -in corpus.jsonl -pprof -log-format json
 //
-// The -corpus form loads a columnar SCORP corpus (written by
-// sarank -save-corpus or sargen -emit-corpus): the store's columns are
-// materialised straight from the checksummed byte stream, so boot does
-// no text parsing at all. Combined with -scores the process serves
-// without solving either; /stats reports corpus_bytes and
-// corpus_load_seconds for the load that did happen.
+// The -corpus form serves a columnar SCORP corpus (written by
+// sarank -save-corpus or sargen -emit-corpus). By default the file is
+// memory-mapped (corpus.OpenMapped): the store's columns alias the
+// mapped pages directly, boot costs O(section table) regardless of
+// corpus size, and the OS page cache — shared across processes —
+// backs corpora larger than RAM. Legacy or unaligned files fall back
+// to the section-by-section heap loader automatically; -mmap=false
+// forces that path. Combined with -scores the process serves without
+// solving either; /stats reports corpus_load_mode, corpus_mmap_bytes
+// and corpus_boot_seconds for the boot that did happen.
 package main
 
 import (
@@ -71,6 +76,7 @@ func main() {
 	var (
 		in        = flag.String("in", "", "corpus file (jsonl, tsv, bin or scorp); required unless -corpus is set")
 		scorpPath = flag.String("corpus", "", "columnar SCORP corpus for zero-parse boot (overrides -in)")
+		mmapFlag  = flag.Bool("mmap", true, "serve -corpus via mmap: O(1) boot, page-cache backed (falls back to the heap loader on unaligned or legacy files)")
 		format    = flag.String("format", "", "corpus format override (with -in)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
@@ -105,9 +111,17 @@ func main() {
 	loadStart := time.Now()
 	var store *corpus.Store
 	if *scorpPath != "" {
-		if store, err = corpus.ReadSCORPFile(*scorpPath); err != nil {
+		open := corpus.ReadSCORPFile
+		if *mmapFlag {
+			open = corpus.OpenMapped
+		}
+		if store, err = open(*scorpPath); err != nil {
 			fatal("load corpus", "file", *scorpPath, "error", err)
 		}
+		// The boot handle owns one reference to the mapping; serving
+		// generations retain their own, so this release at exit never
+		// strands a live request.
+		defer store.Close()
 	} else if store, err = cliutil.LoadCorpus(*in, *format); err != nil {
 		fatal("load corpus", "file", *in, "error", err)
 	}
@@ -115,6 +129,7 @@ func main() {
 	logger.Info("corpus loaded",
 		"articles", store.NumArticles(), "citations", store.NumCitations(),
 		"bytes", store.Bytes(), "zero_parse", *scorpPath != "",
+		"load_mode", store.LoadMode(), "mapped_bytes", store.MappedBytes(),
 		"elapsed", loadElapsed.Round(time.Microsecond).String())
 
 	opts := core.DefaultOptions()
@@ -150,6 +165,7 @@ func main() {
 		}
 		logger.Info("ranked", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
+	srv.RecordBootSeconds(loadElapsed.Seconds())
 	if *spool != "" {
 		logger.Info("watching spool", "spool", *spool, "interval", refresh.String())
 	}

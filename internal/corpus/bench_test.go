@@ -3,6 +3,8 @@ package corpus
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -10,12 +12,19 @@ import (
 // ~5 citations per article.
 func benchBuilder(b *testing.B) *Builder {
 	b.Helper()
+	return sizedBuilder(b, 10_000)
+}
+
+// sizedBuilder builds an nArt-article corpus with nArt/10 authors, 20
+// venues and ~5 citations per article.
+func sizedBuilder(tb testing.TB, nArt int) *Builder {
+	tb.Helper()
 	bld := NewBuilder()
 	var authors []AuthorID
-	for i := 0; i < 1000; i++ {
+	for i := 0; i < nArt/10; i++ {
 		a, err := bld.InternAuthor(fmt.Sprintf("a%04d", i), fmt.Sprintf("Author %d", i))
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		authors = append(authors, a)
 	}
@@ -23,11 +32,11 @@ func benchBuilder(b *testing.B) *Builder {
 	for i := 0; i < 20; i++ {
 		v, err := bld.InternVenue(fmt.Sprintf("v%02d", i), fmt.Sprintf("Venue %d", i))
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		venues = append(venues, v)
 	}
-	for i := 0; i < 10_000; i++ {
+	for i := 0; i < nArt; i++ {
 		_, err := bld.AddArticle(ArticleMeta{
 			Key:     fmt.Sprintf("p%06d", i),
 			Title:   "A Reasonably Long Article Title For Benchmarking",
@@ -36,10 +45,10 @@ func benchBuilder(b *testing.B) *Builder {
 			Authors: authors[i%len(authors) : i%len(authors)+1],
 		})
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 	}
-	for i := 1; i < 10_000; i++ {
+	for i := 1; i < nArt; i++ {
 		for r := 1; r <= 5; r++ {
 			ref := ArticleID((i * r * 7919) % i)
 			if ref != ArticleID(i) {
@@ -158,4 +167,41 @@ func BenchmarkCorpusLoadSCORP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSCORPBoot measures the sarserve boot path — opening the
+// 100k-article reference corpus from disk — for the heap loader
+// versus OpenMapped. The ≥10× mmap advantage recorded in
+// EXPERIMENTS.md E3 (and shipped as BENCH_6.json) comes from here.
+func BenchmarkSCORPBoot(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "boot.scorp")
+	if err := WriteSCORPFile(path, sizedBuilder(b, 100_000).Freeze()); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mode=heap", func(b *testing.B) {
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSCORPFile(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=mmap", func(b *testing.B) {
+		b.SetBytes(fi.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := OpenMapped(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

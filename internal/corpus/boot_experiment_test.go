@@ -1,0 +1,95 @@
+//go:build linux
+
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBootExperimentE3 produces the measurements recorded in
+// EXPERIMENTS.md E3: boot wall time and resident-set growth for the
+// heap loader versus OpenMapped, at 100k and 1M articles. It is gated
+// behind QISA_E3=1 because the 1M-article corpus takes a while to
+// build and the numbers only need refreshing when the loaders change:
+//
+//	QISA_E3=1 go test ./internal/corpus/ -run TestBootExperimentE3 -v
+//
+// RSS is read from /proc/self/status (hence the linux build tag) after
+// debug.FreeOSMemory, so transient decode garbage is not charged to
+// either loader — only memory still live while the store is held.
+func TestBootExperimentE3(t *testing.T) {
+	if os.Getenv("QISA_E3") == "" {
+		t.Skip("set QISA_E3=1 to run the boot-time/RSS experiment")
+	}
+	for _, nArt := range []int{100_000, 1_000_000} {
+		t.Run(fmt.Sprintf("articles=%d", nArt), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "e3.scorp")
+			if err := WriteSCORPFile(path, sizedBuilder(t, nArt).Freeze()); err != nil {
+				t.Fatal(err)
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("E3 articles=%d file_bytes=%d", nArt, fi.Size())
+			for _, mode := range []string{"heap", "mmap"} {
+				open := ReadSCORPFile
+				if mode == "mmap" {
+					open = OpenMapped
+				}
+				debug.FreeOSMemory()
+				rss0 := readRSSKB(t)
+				start := time.Now()
+				s, err := open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				boot := time.Since(start)
+				if got := s.NumArticles(); got != nArt {
+					t.Fatalf("mode=%s: got %d articles, want %d", mode, got, nArt)
+				}
+				debug.FreeOSMemory()
+				rss1 := readRSSKB(t)
+				t.Logf("E3 articles=%d mode=%s load_mode=%s boot=%v rss_delta_kb=%d",
+					nArt, mode, s.LoadMode(), boot, rss1-rss0)
+				runtime.KeepAlive(s)
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// readRSSKB returns VmRSS from /proc/self/status in kilobytes.
+func readRSSKB(t *testing.T) int64 {
+	t.Helper()
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kb
+	}
+	t.Fatal("VmRSS not found in /proc/self/status")
+	return 0
+}

@@ -137,6 +137,11 @@ type Store struct {
 	perm        *sparse.Permutation
 	reorderSecs float64
 
+	// Backing mapping for stores opened via OpenMapped: the columns
+	// above alias its bytes, and Close/Retain manage its lifetime. nil
+	// for heap-backed stores (built, decoded, or fallen back).
+	mm *mapRegion
+
 	lookupOnce sync.Once
 	byKey      map[string]ArticleID
 }
@@ -303,6 +308,9 @@ func (s *Store) WithoutSolverPermutation() *Store {
 		venueArtOff:   s.venueArtOff,
 		venueArts:     s.venueArts,
 		citations:     s.citations,
+		// Share the mapping without retaining: the view's lifetime is
+		// the receiver's, and only the original handle should Close it.
+		mm: s.mm,
 	}
 	return c
 }

@@ -123,6 +123,18 @@ func FuzzReadSCORP(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(permed.Bytes())
+	// Legacy packed layouts: a version-2 image (sections back to back,
+	// not 8-byte aligned) and the same bytes stamped version 3 — the
+	// misaligned-v3 shape OpenMapped must fall back to the heap loader
+	// on, and the decoder must still read.
+	var packed bytes.Buffer
+	if err := writeSCORP(&packed, pb.Freeze(), 2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(packed.Bytes())
+	misaligned := append([]byte(nil), packed.Bytes()...)
+	misaligned[len(scorpMagic)] = 3
+	f.Add(misaligned)
 	var empty bytes.Buffer
 	if err := WriteSCORP(&empty, NewBuilder().Freeze()); err != nil {
 		f.Fatal(err)

@@ -1,0 +1,16 @@
+//go:build !((linux || darwin) && (amd64 || arm64))
+
+package corpus
+
+// mmapAvailable reports whether this build has the zero-copy mapped
+// loader (tests use it to gate load-mode assertions).
+const mmapAvailable = false
+
+// openMapped on platforms without mmap support (or without a
+// little-endian guarantee) is the heap loader: OpenMapped keeps its
+// contract everywhere, it just loses the zero-copy property. The
+// returned store has mm == nil, so LoadMode reports "heap" and Close
+// is a no-op.
+func openMapped(path string) (*Store, error) {
+	return ReadSCORPFile(path)
+}

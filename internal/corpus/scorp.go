@@ -49,9 +49,20 @@ import (
 // permutation, and omitted otherwise. Version 1 files (no perm
 // section) still load, with the identity permutation assumed; the
 // writer always emits the current version.
+//
+// Version 3 changes only the placement of payloads: every section
+// offset is 8-byte aligned, with zero padding between sections. The
+// padding bytes belong to no section and are excluded from every CRC.
+// Alignment lets OpenMapped reinterpret the mapped file's payloads in
+// place as the Store's int64/int32 columns with zero copies; versions
+// 1 and 2 (packed payloads) still load through the heap decoder, and
+// a mapped open of an unaligned file silently falls back to it.
 const (
 	scorpMagic   = "SCORP"
-	scorpVersion = 2
+	scorpVersion = 3
+	// scorpAlign is the payload alignment version 3 guarantees: wide
+	// enough for the widest column element type (int64).
+	scorpAlign = 8
 	// scorpMaxSections bounds the section table so a hostile header
 	// cannot demand an enormous allocation.
 	scorpMaxSections = 256
@@ -72,6 +83,10 @@ var scorpSectionOrder = []string{
 	"aaof", "aaid", "refo", "refi",
 	"ukof", "unof", "uaof", "uaid",
 	"vkof", "vnof", "vaof", "vaid",
+}
+
+func alignUp(off uint64) uint64 {
+	return (off + scorpAlign - 1) &^ uint64(scorpAlign-1)
 }
 
 func encodeI64s(xs []int64) []byte {
@@ -139,8 +154,17 @@ func scorpSections(s *Store) map[string][]byte {
 	return sections
 }
 
-// WriteSCORP encodes the store in SCORP format.
+// WriteSCORP encodes the store in SCORP format (current version, with
+// 8-byte-aligned sections so the file can be served via OpenMapped).
 func WriteSCORP(w io.Writer, s *Store) error {
+	return writeSCORP(w, s, scorpVersion)
+}
+
+// writeSCORP encodes the store as the given format version. Versions
+// 3+ align every payload to scorpAlign with zero padding (excluded
+// from the CRCs); versions 1–2 pack payloads back to back — kept so
+// compatibility tests and fuzz seeds can produce legacy images.
+func writeSCORP(w io.Writer, s *Store, version byte) error {
 	sections := scorpSections(s)
 	order := scorpSectionOrder
 	if _, ok := sections["perm"]; ok {
@@ -148,11 +172,16 @@ func WriteSCORP(w io.Writer, s *Store) error {
 	}
 	header := make([]byte, 0, scorpHeaderLen+len(order)*scorpEntryLen)
 	header = append(header, scorpMagic...)
-	header = append(header, scorpVersion, 0, 0)
+	header = append(header, version, 0, 0)
 	header = binary.LittleEndian.AppendUint32(header, uint32(len(order)))
 	offset := uint64(scorpHeaderLen + len(order)*scorpEntryLen)
-	for _, tag := range order {
+	offsets := make([]uint64, len(order))
+	for i, tag := range order {
 		payload := sections[tag]
+		if version >= 3 {
+			offset = alignUp(offset)
+		}
+		offsets[i] = offset
 		header = append(header, tag...)
 		header = binary.LittleEndian.AppendUint64(header, offset)
 		header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
@@ -162,15 +191,158 @@ func WriteSCORP(w io.Writer, s *Store) error {
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("corpus: write SCORP header: %w", err)
 	}
-	for _, tag := range order {
+	pos := uint64(len(header))
+	var pad [scorpAlign]byte
+	for i, tag := range order {
+		if n := offsets[i] - pos; n > 0 {
+			if _, err := w.Write(pad[:n]); err != nil {
+				return fmt.Errorf("corpus: write SCORP padding: %w", err)
+			}
+			pos += n
+		}
 		if _, err := w.Write(sections[tag]); err != nil {
 			return fmt.Errorf("corpus: write SCORP section %q: %w", tag, err)
 		}
+		pos += uint64(len(sections[tag]))
 	}
 	return nil
 }
 
-// ReadSCORP decodes a SCORP corpus from r.
+// scorpEntry is one parsed section-table row.
+type scorpEntry struct {
+	tag    string
+	off    uint64
+	length uint64
+	crc    uint32
+}
+
+// scorpTable is the parsed header: format version plus the section
+// table in file order, bounds-checked against the file size.
+type scorpTable struct {
+	version byte
+	entries []scorpEntry
+	byTag   map[string]int
+}
+
+func (t *scorpTable) lookup(tag string) (scorpEntry, bool) {
+	i, ok := t.byTag[tag]
+	if !ok {
+		return scorpEntry{}, false
+	}
+	return t.entries[i], true
+}
+
+// aligned reports whether every section payload starts on a
+// scorpAlign boundary — the precondition for in-place reinterpreting
+// a mapped file.
+func (t *scorpTable) aligned() bool {
+	for _, e := range t.entries {
+		if e.off%scorpAlign != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSCORPTable parses and bounds-checks the header and section
+// table. hdr must hold at least the header and full table; size is
+// the total file size the offsets are validated against.
+func parseSCORPTable(hdr []byte, size uint64) (*scorpTable, error) {
+	if len(hdr) < scorpHeaderLen || string(hdr[:len(scorpMagic)]) != scorpMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCorpus)
+	}
+	// Versions 1 (pre-permutation) and 2 (packed sections) remain
+	// readable; the decoder only looks sections up by tag.
+	v := hdr[len(scorpMagic)]
+	if v < 1 || v > scorpVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorpusVersion, v)
+	}
+	count := binary.LittleEndian.Uint32(hdr[len(scorpMagic)+3:])
+	if count > scorpMaxSections {
+		return nil, fmt.Errorf("%w: %d sections", ErrBadCorpus, count)
+	}
+	tableEnd := scorpHeaderLen + int(count)*scorpEntryLen
+	if len(hdr) < tableEnd || uint64(tableEnd) > size {
+		return nil, fmt.Errorf("%w: truncated section table", ErrBadCorpus)
+	}
+	t := &scorpTable{
+		version: v,
+		entries: make([]scorpEntry, 0, count),
+		byTag:   make(map[string]int, count),
+	}
+	for i := 0; i < int(count); i++ {
+		raw := hdr[scorpHeaderLen+i*scorpEntryLen:]
+		e := scorpEntry{
+			tag:    string(raw[:4]),
+			off:    binary.LittleEndian.Uint64(raw[4:]),
+			length: binary.LittleEndian.Uint64(raw[12:]),
+			crc:    binary.LittleEndian.Uint32(raw[20:]),
+		}
+		if e.off < uint64(tableEnd) || e.off > size || e.length > size-e.off {
+			return nil, fmt.Errorf("%w: section %q out of bounds", ErrBadCorpus, e.tag)
+		}
+		t.byTag[e.tag] = len(t.entries)
+		t.entries = append(t.entries, e)
+	}
+	return t, nil
+}
+
+// sectionSource hands the decoder one verified section payload at a
+// time. The returned bytes are only valid until the next call, so the
+// decoder copies what it keeps — which is what lets the file-backed
+// source reuse one scratch buffer instead of holding the whole image.
+type sectionSource interface {
+	// payload returns the CRC-verified payload of tag, or ok=false
+	// when the section is absent.
+	payload(tag string) (buf []byte, ok bool, err error)
+}
+
+// memSource serves sections out of a complete in-memory image.
+type memSource struct {
+	data []byte
+	tab  *scorpTable
+}
+
+func (m *memSource) payload(tag string) ([]byte, bool, error) {
+	e, ok := m.tab.lookup(tag)
+	if !ok {
+		return nil, false, nil
+	}
+	return m.data[e.off : e.off+e.length], true, nil
+}
+
+// fileSource serves sections straight from an io.ReaderAt through one
+// reusable scratch buffer, so a load reads each needed section exactly
+// once — no whole-file buffer, no second copy. CRCs are verified per
+// section as it is read; sections the decoder never asks for are never
+// read (and thus never checked).
+type fileSource struct {
+	r       io.ReaderAt
+	tab     *scorpTable
+	scratch []byte
+}
+
+func (f *fileSource) payload(tag string) ([]byte, bool, error) {
+	e, ok := f.tab.lookup(tag)
+	if !ok {
+		return nil, false, nil
+	}
+	if uint64(cap(f.scratch)) < e.length {
+		f.scratch = make([]byte, e.length)
+	}
+	buf := f.scratch[:e.length]
+	if _, err := f.r.ReadAt(buf, int64(e.off)); err != nil {
+		return nil, true, fmt.Errorf("corpus: read SCORP section %q: %w", tag, err)
+	}
+	if crc32.ChecksumIEEE(buf) != e.crc {
+		return nil, true, fmt.Errorf("%w: section %q", ErrCorpusCRC, tag)
+	}
+	return buf, true, nil
+}
+
+// ReadSCORP decodes a SCORP corpus from r. Streaming readers buffer
+// the whole image first; prefer ReadSCORPFile (or OpenMapped) for
+// files, which read section by section.
 func ReadSCORP(r io.Reader) (*Store, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -180,75 +352,103 @@ func ReadSCORP(r io.Reader) (*Store, error) {
 }
 
 // DecodeSCORP decodes a SCORP corpus from an in-memory image. The
-// returned store does not retain data.
+// returned store does not retain data. Every listed section's CRC is
+// verified, known or not — an in-memory image is cheap to sweep and
+// this is the decoder the fuzzer drives with hostile input.
 func DecodeSCORP(data []byte) (*Store, error) {
-	if len(data) < scorpHeaderLen || string(data[:len(scorpMagic)]) != scorpMagic {
+	tab, err := parseSCORPTable(data, uint64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range tab.entries {
+		if crc32.ChecksumIEEE(data[e.off:e.off+e.length]) != e.crc {
+			return nil, fmt.Errorf("%w: section %q", ErrCorpusCRC, e.tag)
+		}
+	}
+	return decodeStore(&memSource{data: data, tab: tab})
+}
+
+// ReadSCORPAt decodes a SCORP corpus from a random-access reader of
+// the given total size, reading only the sections the store needs —
+// each one straight into a reused scratch buffer and decoded into an
+// exactly-sized column, so peak memory is one section plus the store
+// itself rather than two copies of the whole file.
+func ReadSCORPAt(r io.ReaderAt, size int64) (*Store, error) {
+	hdr := make([]byte, scorpHeaderLen)
+	if size < int64(scorpHeaderLen) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCorpus)
 	}
-	// Version 1 files predate the solver permutation and remain
-	// readable (the perm section is simply absent).
-	if v := data[len(scorpMagic)]; v != 1 && v != scorpVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrCorpusVersion, v)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("corpus: read SCORP header: %w", err)
 	}
-	count := binary.LittleEndian.Uint32(data[len(scorpMagic)+3:])
-	if count > scorpMaxSections {
-		return nil, fmt.Errorf("%w: %d sections", ErrBadCorpus, count)
-	}
-	tableEnd := scorpHeaderLen + int(count)*scorpEntryLen
-	if len(data) < tableEnd {
-		return nil, fmt.Errorf("%w: truncated section table", ErrBadCorpus)
-	}
-	sections := make(map[string][]byte, count)
-	for i := 0; i < int(count); i++ {
-		entry := data[scorpHeaderLen+i*scorpEntryLen:]
-		tag := string(entry[:4])
-		off := binary.LittleEndian.Uint64(entry[4:])
-		length := binary.LittleEndian.Uint64(entry[12:])
-		crc := binary.LittleEndian.Uint32(entry[20:])
-		if off < uint64(tableEnd) || off > uint64(len(data)) || length > uint64(len(data))-off {
-			return nil, fmt.Errorf("%w: section %q out of bounds", ErrBadCorpus, tag)
+	count := binary.LittleEndian.Uint32(hdr[len(scorpMagic)+3:])
+	if string(hdr[:len(scorpMagic)]) == scorpMagic && count <= scorpMaxSections {
+		table := make([]byte, scorpHeaderLen+int(count)*scorpEntryLen)
+		if int64(len(table)) > size {
+			return nil, fmt.Errorf("%w: truncated section table", ErrBadCorpus)
 		}
-		payload := data[off : off+length]
-		if crc32.ChecksumIEEE(payload) != crc {
-			return nil, fmt.Errorf("%w: section %q", ErrCorpusCRC, tag)
+		if _, err := r.ReadAt(table, 0); err != nil {
+			return nil, fmt.Errorf("corpus: read SCORP section table: %w", err)
 		}
-		sections[tag] = payload
+		hdr = table
 	}
+	tab, err := parseSCORPTable(hdr, uint64(size))
+	if err != nil {
+		return nil, err
+	}
+	return decodeStore(&fileSource{r: r, tab: tab})
+}
 
-	meta, ok := sections["meta"]
+// decodeStore materialises a heap-backed Store from a section source,
+// with every structural and semantic invariant re-validated so an
+// untrusted file can never index out of bounds.
+func decodeStore(src sectionSource) (*Store, error) {
+	meta, ok, err := src.payload("meta")
+	if err != nil {
+		return nil, err
+	}
 	if !ok || len(meta) != 32 {
 		return nil, fmt.Errorf("%w: missing meta section", ErrBadCorpus)
 	}
-	nArt := binary.LittleEndian.Uint64(meta[0:])
-	nAuth := binary.LittleEndian.Uint64(meta[8:])
-	nVen := binary.LittleEndian.Uint64(meta[16:])
-	citations := binary.LittleEndian.Uint64(meta[24:])
-	const maxCount = 1 << 31
-	if nArt > maxCount || nAuth > maxCount || nVen > maxCount || citations > maxCount {
-		return nil, fmt.Errorf("%w: counts out of range", ErrBadCorpus)
+	nArt, nAuth, nVen, citations, err := parseMeta(meta)
+	if err != nil {
+		return nil, err
 	}
 
-	arena, ok := sections["arna"]
+	arena, ok, err := src.payload("arna")
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: missing arna section", ErrBadCorpus)
 	}
+	s := &Store{arena: string(arena), citations: int(citations)}
+
+	section := func(tag string, wantLen uint64) ([]byte, error) {
+		sec, ok, err := src.payload(tag)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || uint64(len(sec)) != wantLen {
+			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, tag, len(sec), wantLen)
+		}
+		return sec, nil
+	}
 	offsetCol := func(tag string, n uint64) ([]int64, error) {
-		sec, ok := sections[tag]
-		if !ok || uint64(len(sec)) != (n+1)*8 {
-			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, tag, len(sec), (n+1)*8)
+		sec, err := section(tag, (n+1)*8)
+		if err != nil {
+			return nil, err
 		}
 		return decodeI64s(sec), nil
 	}
 	denseCol := func(tag string, n uint64) ([]int32, error) {
-		sec, ok := sections[tag]
-		if !ok || uint64(len(sec)) != n*4 {
-			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, tag, len(sec), n*4)
+		sec, err := section(tag, n*4)
+		if err != nil {
+			return nil, err
 		}
 		return decodeI32s(sec), nil
 	}
 
-	s := &Store{arena: string(arena), citations: int(citations)}
-	var err error
 	load := func(dst *[]int64, tag string, n uint64) {
 		if err == nil {
 			*dst, err = offsetCol(tag, n)
@@ -275,11 +475,11 @@ func DecodeSCORP(data []byte) (*Store, error) {
 		return nil, err
 	}
 	csrIDs := func(tag string, off []int64) ([]int32, error) {
-		last := off[len(off)-1]
-		if last < 0 || uint64(last) > maxCount {
-			return nil, fmt.Errorf("%w: section %q id count %d", ErrBadCorpus, tag, last)
+		n, err := csrIDCount(tag, off)
+		if err != nil {
+			return nil, err
 		}
-		return denseCol(tag, uint64(last))
+		return denseCol(tag, n)
 	}
 	if s.artAuthors, err = csrIDs("aaid", s.artAuthorOff); err != nil {
 		return nil, err
@@ -293,7 +493,9 @@ func DecodeSCORP(data []byte) (*Store, error) {
 	if s.venueArts, err = csrIDs("vaid", s.venueArtOff); err != nil {
 		return nil, err
 	}
-	if sec, ok := sections["perm"]; ok {
+	if sec, ok, perr := src.payload("perm"); perr != nil {
+		return nil, perr
+	} else if ok {
 		if uint64(len(sec)) != nArt*4 {
 			return nil, fmt.Errorf("%w: section %q length %d, want %d", ErrBadCorpus, "perm", len(sec), nArt*4)
 		}
@@ -309,6 +511,30 @@ func DecodeSCORP(data []byte) (*Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// parseMeta unpacks and range-checks the meta section counts.
+func parseMeta(meta []byte) (nArt, nAuth, nVen, citations uint64, err error) {
+	nArt = binary.LittleEndian.Uint64(meta[0:])
+	nAuth = binary.LittleEndian.Uint64(meta[8:])
+	nVen = binary.LittleEndian.Uint64(meta[16:])
+	citations = binary.LittleEndian.Uint64(meta[24:])
+	const maxCount = 1 << 31
+	if nArt > maxCount || nAuth > maxCount || nVen > maxCount || citations > maxCount {
+		return 0, 0, 0, 0, fmt.Errorf("%w: counts out of range", ErrBadCorpus)
+	}
+	return nArt, nAuth, nVen, citations, nil
+}
+
+// csrIDCount reads a CSR offset column's final element — the id-array
+// length the matching section must have.
+func csrIDCount(tag string, off []int64) (uint64, error) {
+	last := off[len(off)-1]
+	const maxCount = 1 << 31
+	if last < 0 || uint64(last) > maxCount {
+		return 0, fmt.Errorf("%w: section %q id count %d", ErrBadCorpus, tag, last)
+	}
+	return uint64(last), nil
 }
 
 // validate checks every structural invariant the accessors rely on,
@@ -402,6 +628,13 @@ func (s *Store) validate() error {
 	return nil
 }
 
+// Verify re-runs the full structural and semantic validation over the
+// store's columns — the check the heap loaders perform implicitly.
+// Stores opened through OpenMapped skip it at boot to stay O(section
+// table); operators who cannot trust a mapped file's provenance can
+// call Verify once after opening (it pages the whole corpus in).
+func (s *Store) Verify() error { return s.validate() }
+
 // WriteSCORPFile writes the store to path atomically: a temporary
 // sibling file is fsynced and renamed over the target, so a
 // concurrently booting reader never sees a half-written corpus (the
@@ -430,11 +663,18 @@ func WriteSCORPFile(path string, s *Store) error {
 	return nil
 }
 
-// ReadSCORPFile reads a corpus written by WriteSCORPFile.
+// ReadSCORPFile reads a corpus written by WriteSCORPFile onto the
+// heap, section by section. See OpenMapped for the zero-copy boot
+// path.
 func ReadSCORPFile(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: open SCORP: %w", err)
 	}
-	return DecodeSCORP(data)
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: stat SCORP: %w", err)
+	}
+	return ReadSCORPAt(f, fi.Size())
 }

@@ -82,16 +82,40 @@ func TestSCORPCorruptionDetected(t *testing.T) {
 	}
 	tableEnd := scorpHeaderLen + len(scorpSectionOrder)*scorpEntryLen
 	raw := buf.Bytes()
-	// Flip one byte in every payload position and require rejection
-	// (CRC) or a consistent decode — never a panic or silent garbage.
+	// Version 3 pads sections to 8-byte alignment; padding belongs to
+	// no section and is outside every CRC, so a flip there must decode
+	// to the same corpus rather than being rejected.
+	tab, err := parseSCORPTable(raw, uint64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPayload := func(pos int) bool {
+		for _, e := range tab.entries {
+			if uint64(pos) >= e.off && uint64(pos) < e.off+e.length {
+				return true
+			}
+		}
+		return false
+	}
+	// Flip one byte in every position past the table: payload flips are
+	// rejected by CRC, padding flips decode consistently — never a
+	// panic or silent garbage.
 	for i := tableEnd; i < len(raw); i++ {
 		mutated := append([]byte(nil), raw...)
 		mutated[i] ^= 0xFF
-		if _, err := DecodeSCORP(mutated); err == nil {
-			t.Fatalf("flip at %d accepted", i)
-		} else if !errors.Is(err, ErrCorpusCRC) {
-			t.Fatalf("flip at %d: err = %v, want CRC mismatch", i, err)
+		got, err := DecodeSCORP(mutated)
+		if inPayload(i) {
+			if err == nil {
+				t.Fatalf("flip at %d accepted", i)
+			} else if !errors.Is(err, ErrCorpusCRC) {
+				t.Fatalf("flip at %d: err = %v, want CRC mismatch", i, err)
+			}
+			continue
 		}
+		if err != nil {
+			t.Fatalf("flip in padding at %d rejected: %v", i, err)
+		}
+		assertSameCorpus(t, s, got)
 	}
 }
 

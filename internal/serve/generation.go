@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"scholarrank/internal/core"
@@ -19,11 +20,24 @@ import (
 // throughout, so a concurrent swap can never mix two rankings within
 // one response. Everything reachable from a generation is read-only
 // after construction.
+//
+// A generation also pins its store's backing mapping (see
+// corpus.OpenMapped): refs starts at 1 for the server's own reference
+// and every request acquires/releases around its read, so the swap
+// that retires a generation cannot munmap pages a live request or
+// in-flight solve still touches. Heap-backed stores ride the same
+// protocol with a no-op close.
 type generation struct {
 	version     int64
 	source      string // "solve", "snapshot", "ingest" or "reload"
 	rankedAt    time.Time
 	fingerprint uint64
+
+	// refs counts the server's reference plus one per in-flight
+	// reader; when it reaches zero the store's mapping reference is
+	// released. Guarded by CAS so acquire can fail cleanly once the
+	// generation is retired.
+	refs atomic.Int64
 
 	store  *corpus.Store
 	net    *hetnet.Network
@@ -62,14 +76,45 @@ func newGeneration(store *corpus.Store, net *hetnet.Network, scores *core.Scores
 	if err != nil {
 		return nil, fmt.Errorf("serve: related index: %w", err)
 	}
-	return &generation{
+	// The generation holds its own reference to the store's backing
+	// mapping for as long as it can serve readers.
+	if !store.Retain() {
+		return nil, fmt.Errorf("serve: corpus mapping already closed")
+	}
+	g := &generation{
 		version: version, source: source, rankedAt: rankedAt,
 		fingerprint: live.Fingerprint(store),
 		store:       store, net: net, scores: scores, order: order, pos: pos,
 		authorScores: authorScores, venueScores: venueScores,
 		related:   related,
 		explainer: core.NewExplainer(scores),
-	}, nil
+	}
+	g.refs.Store(1)
+	return g, nil
+}
+
+// acquire pins the generation for one reader. It reports false when
+// the generation has already been retired (refs hit zero), in which
+// case the caller must reload the current generation pointer.
+func (g *generation) acquire() bool {
+	for {
+		n := g.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the reference that reaches zero
+// releases the store's mapping. Store.Close on a heap store is a
+// no-op, so the protocol is uniform across load modes.
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 {
+		_ = g.store.Close()
+	}
 }
 
 func (g *generation) view(i int) ArticleView {
@@ -157,6 +202,10 @@ func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
 		return err
 	}
 	s.gen.Store(gen)
+	// Retire the old generation: readers that already acquired it keep
+	// it (and its mapping) alive until their release; new readers load
+	// the fresh pointer.
+	prev.release()
 	if s.engine != nil {
 		s.engine.Close()
 	}

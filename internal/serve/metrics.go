@@ -27,6 +27,9 @@ const (
 	metricCorpusBytes       = "sarserve_corpus_bytes"
 	metricCorpusLoadSecs    = "sarserve_corpus_load_seconds"
 	metricCorpusArticles    = "sarserve_corpus_articles"
+	metricCorpusMmapBytes   = "sarserve_corpus_mmap_bytes"
+	metricCorpusBootSecs    = "sarserve_corpus_boot_seconds"
+	metricCorpusLoadMode    = "sarserve_corpus_load_mode"
 )
 
 // serveMetrics bundles every instrument the serving layer records
@@ -41,6 +44,11 @@ type serveMetrics struct {
 	extrapolations    *obs.Counter
 	ingestApplied     *obs.Counter
 	ingestQuarantined *obs.Counter
+
+	// bootSeconds is set once by the booting command (see
+	// Server.RecordBootSeconds) — wall time from opening the corpus
+	// file to a usable Store, the number the mmap path collapses.
+	bootSeconds *obs.Gauge
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -60,6 +68,8 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Delta batches folded into the corpus (HTTP bodies and spool files).", nil),
 		ingestQuarantined: reg.Counter(metricIngestQuarantined,
 			"Malformed spool delta files renamed aside as *.err.", nil),
+		bootSeconds: reg.Gauge(metricCorpusBootSecs,
+			"Wall time from opening the boot corpus file to a usable Store, in seconds.", nil),
 	}
 }
 
@@ -163,4 +173,27 @@ func (m *serveMetrics) observeServer(s *Server) {
 	m.reg.GaugeFunc(metricCorpusLoadSecs,
 		"Wall time the boot corpus took to load from disk.", nil,
 		func() float64 { return s.cfg.CorpusLoadSeconds })
+
+	// Mapped-corpus gauges. These read slice headers and atomic
+	// counters only, so a scrape racing a generation swap never
+	// touches (possibly unmapped) column memory.
+	m.reg.GaugeFunc(metricCorpusMmapBytes,
+		"Bytes of the serving corpus's memory-mapped SCORP file (0 when heap-loaded).", nil,
+		func() float64 {
+			if g := s.gen.Load(); g != nil {
+				return float64(g.store.MappedBytes())
+			}
+			return 0
+		})
+	for _, mode := range []string{"mmap", "heap"} {
+		mode := mode
+		m.reg.GaugeFunc(metricCorpusLoadMode,
+			"How the serving corpus is backed: 1 on the active mode's series.", obs.Labels{"mode": mode},
+			func() float64 {
+				if g := s.gen.Load(); g != nil && g.store.LoadMode() == mode {
+					return 1
+				}
+				return 0
+			})
+	}
 }

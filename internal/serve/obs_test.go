@@ -45,6 +45,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE sarserve_solver_extrapolations_total counter",
 		"# TYPE sarserve_solver_iterations_saved gauge",
 		"# TYPE sarserve_solver_reorder_seconds gauge",
+		"# TYPE sarserve_corpus_boot_seconds gauge",
+		"# TYPE sarserve_corpus_load_mode gauge",
+		"sarserve_corpus_mmap_bytes 0",
+		`sarserve_corpus_load_mode{mode="heap"} 1`,
+		`sarserve_corpus_load_mode{mode="mmap"} 0`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)
@@ -126,6 +131,7 @@ func TestStatsSurfacesSolverTiming(t *testing.T) {
 		"prestige_seconds", "hetero_seconds", "prestige_residual",
 		"solver_workers", "solver_pool_sweeps",
 		"solver_reorder_seconds", "solver_extrapolations", "solver_iterations_saved",
+		"corpus_mmap_bytes", "corpus_load_mode", "corpus_boot_seconds",
 	} {
 		if !strings.Contains(body, `"`+key+`"`) {
 			t.Errorf("/stats missing %q: %s", key, body)

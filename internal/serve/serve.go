@@ -187,6 +187,16 @@ func newServerShell(cfg Config) *Server {
 // Handler elsewhere.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
+// RecordBootSeconds records the wall time the booting command spent
+// turning the corpus file into a usable Store — the
+// sarserve_corpus_boot_seconds gauge and the corpus_boot_seconds key
+// on /stats. Distinct from Config.CorpusLoadSeconds only in being
+// settable after the server exists (the boot timer stops before New
+// returns, but the server is what exposes it).
+func (s *Server) RecordBootSeconds(sec float64) {
+	s.metrics.bootSeconds.Set(sec)
+}
+
 func (s *Server) startRefresher() {
 	if s.cfg.SpoolDir == "" || s.cfg.RefreshInterval <= 0 {
 		return
@@ -196,11 +206,27 @@ func (s *Server) startRefresher() {
 	go s.refreshLoop(s.cfg.RefreshInterval, s.cfg.Debounce)
 }
 
-// current returns the serving generation and stamps its version on
-// the response, so clients (and the hot-swap tests) can correlate a
-// payload with the ranking that produced it.
+// pin loads the current generation and acquires a reference so its
+// store (and any backing mapping) outlives the caller's read even
+// across a concurrent hot swap. acquire only fails on a generation
+// retired between the Load and the CAS, so the loop reloads and wins
+// on the next round — the serving generation always holds the
+// server's own reference. Callers must release the generation.
+func (s *Server) pin() *generation {
+	for {
+		g := s.gen.Load()
+		if g.acquire() {
+			return g
+		}
+	}
+}
+
+// current returns the pinned serving generation and stamps its
+// version on the response, so clients (and the hot-swap tests) can
+// correlate a payload with the ranking that produced it. Callers must
+// release the generation when the response is written.
 func (s *Server) current(w http.ResponseWriter) *generation {
-	g := s.gen.Load()
+	g := s.pin()
 	w.Header().Set("X-Ranking-Version", strconv.FormatInt(g.version, 10))
 	return g
 }
@@ -211,7 +237,11 @@ func (s *Server) Version() int64 { return s.gen.Load().version }
 
 // Snapshot packages the current generation as a persistable ranking
 // snapshot.
-func (s *Server) Snapshot() *live.Snapshot { return s.gen.Load().snapshot() }
+func (s *Server) Snapshot() *live.Snapshot {
+	g := s.pin()
+	defer g.release()
+	return g.snapshot()
+}
 
 // ArticleView is the JSON shape of one ranked article.
 type ArticleView struct {
@@ -264,6 +294,7 @@ func (s *Server) Handler() http.Handler {
 // behind the corpus.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	writeJSON(w, map[string]any{
 		"status":            "ok",
 		"version":           g.version,
@@ -282,6 +313,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g := s.current(w)
+	defer g.release()
 	writeJSON(w, map[string]any{
 		"version":             g.version,
 		"articles":            g.store.NumArticles(),
@@ -302,6 +334,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	g := s.current(w)
+	defer g.release()
 	writeJSON(w, map[string]any{
 		"version":       g.version,
 		"articles":      g.store.NumArticles(),
@@ -315,6 +348,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 // snapshot — the artifact a fresh replica boots from with -scores.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=ranking-v%d.snap", g.version))
@@ -327,6 +361,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 // the "readers of this paper also need" endpoint.
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
@@ -364,6 +399,7 @@ type EntityView struct {
 
 func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	k, ok := parseK(w, r, len(g.authorScores))
 	if !ok {
 		return
@@ -382,6 +418,7 @@ func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	k, ok := parseK(w, r, len(g.venueScores))
 	if !ok {
 		return
@@ -417,6 +454,7 @@ func parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	k, ok := parseK(w, r, len(g.order))
 	if !ok {
 		return
@@ -430,6 +468,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
@@ -447,6 +486,7 @@ func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
 // full signal breakdown — the "why is X above Y" debugging endpoint.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	q := r.URL.Query()
 	ka, kb := q.Get("a"), q.Get("b")
 	if ka == "" || kb == "" {
@@ -481,6 +521,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.current(w)
+	defer g.release()
 	imp := g.scores.Importance
 	var nonZero int
 	for _, v := range imp {
@@ -512,6 +553,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"source":                  g.source,
 		"corpus_bytes":            g.store.Bytes(),
 		"corpus_load_seconds":     s.cfg.CorpusLoadSeconds,
+		"corpus_mmap_bytes":       g.store.MappedBytes(),
+		"corpus_load_mode":        g.store.LoadMode(),
+		"corpus_boot_seconds":     s.metrics.bootSeconds.Value(),
 		"corpus_fingerprint":      fmt.Sprintf("%016x", g.fingerprint),
 		"ranked_at":               g.rankedAt.UTC().Format(time.RFC3339),
 		"staleness_seconds":       int64(s.clock().Sub(g.rankedAt).Seconds()),
@@ -547,7 +591,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // Percentile exposes the rank percentile of an article key, used by
 // library callers embedding the server.
 func (s *Server) Percentile(key string) (float64, bool) {
-	g := s.gen.Load()
+	g := s.pin()
+	defer g.release()
 	id, ok := g.store.ArticleByKey(key)
 	if !ok {
 		return 0, false

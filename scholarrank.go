@@ -35,7 +35,9 @@
 // the first into the second; Store.Thaw reopens a frozen corpus for
 // further growth. The SCORP binary format (WriteSCORPFile /
 // ReadSCORPFile) persists a frozen Store column-for-column so a
-// serving process boots without parsing any text.
+// serving process boots without parsing any text; OpenMapped goes one
+// step further and serves the file zero-copy through mmap, making
+// boot O(1) in corpus size.
 package scholarrank
 
 import (
@@ -117,8 +119,19 @@ func ReadSCORP(r io.Reader) (*Store, error) { return corpus.ReadSCORP(r) }
 // WriteSCORP encodes a frozen corpus in the columnar SCORP format.
 func WriteSCORP(w io.Writer, s *Store) error { return corpus.WriteSCORP(w, s) }
 
-// ReadSCORPFile loads a SCORP corpus file.
+// ReadSCORPFile loads a SCORP corpus file onto the heap, reading only
+// the sections the store needs.
 func ReadSCORPFile(path string) (*Store, error) { return corpus.ReadSCORPFile(path) }
+
+// OpenMapped opens a SCORP corpus file as a zero-copy memory-mapped
+// Store: the columns alias the mapped pages, boot costs O(section
+// table) regardless of corpus size, and the OS page cache backs
+// corpora larger than RAM. Close the returned store when done; legacy
+// or unaligned files (and platforms without mmap) transparently fall
+// back to the heap loader, where Close is a no-op. See
+// Store.LoadMode, Store.Retain and Store.Verify for the lifetime and
+// trust contracts.
+func OpenMapped(path string) (*Store, error) { return corpus.OpenMapped(path) }
 
 // WriteSCORPFile atomically writes a SCORP corpus file (temp file +
 // fsync + rename, so readers never observe a partial corpus).

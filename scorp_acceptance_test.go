@@ -3,6 +3,7 @@ package scholarrank_test
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"testing"
 
 	"scholarrank"
@@ -80,6 +81,58 @@ func TestSCORPAcceptance(t *testing.T) {
 		if d := math.Abs(scoresA.Importance[i] - scoresB.Importance[i]); d > 1e-8 {
 			t.Fatalf("ranking drifted at article %d: %v vs %v (|Δ|=%g)",
 				i, scoresA.Importance[i], scoresB.Importance[i], d)
+		}
+	}
+}
+
+// TestSCORPMappedAcceptance drives the zero-copy boot path end to
+// end: the same file opened through OpenMapped and the heap loader
+// must produce identical corpora and bit-identical solver input — the
+// two rankings agree to 1e-12, far below solver tolerance, because
+// the mapped columns are the same bytes the heap loader copies.
+func TestSCORPMappedAcceptance(t *testing.T) {
+	cfg := scholarrank.DefaultGeneratorConfig(3000)
+	cfg.Seed = 424242
+	gc, err := scholarrank.GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.scorp")
+	if err := scholarrank.WriteSCORPFile(path, gc.Store); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := scholarrank.ReadSCORPFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := scholarrank.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	if got, want := mapped.NumArticles(), heap.NumArticles(); got != want {
+		t.Fatalf("articles: got %d, want %d", got, want)
+	}
+	if got, want := live.Fingerprint(mapped), live.Fingerprint(heap); got != want {
+		t.Fatalf("fingerprint differs mapped vs heap: %016x vs %016x", got, want)
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("mapped store failed full validation: %v", err)
+	}
+
+	scoresHeap, err := scholarrank.Rank(scholarrank.BuildNetwork(heap), scholarrank.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoresMapped, err := scholarrank.Rank(scholarrank.BuildNetwork(mapped), scholarrank.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scoresHeap.Importance {
+		if d := math.Abs(scoresHeap.Importance[i] - scoresMapped.Importance[i]); d > 1e-12 {
+			t.Fatalf("mapped solve drifted at article %d: %v vs %v (|Δ|=%g)",
+				i, scoresHeap.Importance[i], scoresMapped.Importance[i], d)
 		}
 	}
 }
