@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench bench-json
+.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench bench-json bench-load
 
 ## check: everything CI runs — vet, lint, build, race-detector tests on
 ## the parallel packages, then the full test suite.
@@ -68,3 +68,11 @@ bench-json:
 	@$(GO) test ./internal/corpus/ -run xxx -bench 'BenchmarkSCORPBoot' -benchtime 20x -benchmem \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_6.json
 	@echo "wrote BENCH_6.json"
+
+## bench-load: serving-path load benchmark into BENCH_7.json. Ranks a
+## 100k synthetic corpus in-process and drives it with the mixed
+## open-loop workload (cmd/loadgen), reporting QPS, per-route
+## p50/p95/p99 and the /query cache cold-vs-hot speedup.
+bench-load:
+	$(GO) run ./cmd/loadgen -smoke -articles 100000 -duration 5s -qps 2000 -o BENCH_7.json
+	@echo "wrote BENCH_7.json"

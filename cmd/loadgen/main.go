@@ -1,0 +1,507 @@
+// Command loadgen drives a sarserve instance with a mixed read
+// workload and reports throughput and tail latency. It is the
+// benchmark harness behind BENCH_7.json: an open-loop generator
+// (arrivals come off a fixed-rate clock, not off completions, so
+// queueing delay shows up in the tail instead of silently throttling
+// the offered load) with zipf-distributed key popularity, the shape
+// real ranking traffic has — a few hot articles, a long cold tail.
+//
+// Two modes:
+//
+//	loadgen -url http://host:8080 -qps 2000 -duration 30s
+//	    drive an already-running server
+//	loadgen -smoke -articles 100000 -qps 2000 -duration 10s
+//	    synthesise a corpus (internal/gen), rank it, serve it
+//	    in-process and drive that — the CI mode, no network
+//
+// The workload mixes /top, /query (author/venue/year filters with
+// cursor pagination), /article and /related. After the timed run a
+// cache probe measures the /query response cache: distinct
+// never-seen-before queries (cold, index path) versus one repeated
+// query (hot, cache path), reporting the speedup between the two.
+//
+// The report is JSON (see the Report type), written to -o.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/gen"
+	"scholarrank/internal/serve"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.URL, "url", "", "base URL of a running sarserve (required unless -smoke)")
+	flag.BoolVar(&o.Smoke, "smoke", false, "generate a corpus and serve it in-process instead of targeting -url")
+	flag.IntVar(&o.Articles, "articles", 100000, "synthetic corpus size (with -smoke)")
+	flag.DurationVar(&o.Duration, "duration", 10*time.Second, "timed-run length")
+	flag.Float64Var(&o.QPS, "qps", 2000, "open-loop arrival rate, requests per second")
+	flag.IntVar(&o.Workers, "workers", 64, "max in-flight client requests")
+	flag.Float64Var(&o.Zipf, "zipf", 1.1, "key-popularity skew (larger = hotter hot keys)")
+	flag.IntVar(&o.Probes, "probes", 200, "distinct queries in the cache cold/hot probe")
+	flag.Int64Var(&o.Seed, "seed", 1, "workload random seed")
+	flag.StringVar(&o.Out, "o", "BENCH_7.json", "report output path")
+	flag.Parse()
+
+	rep, err := run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(o.Out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loadgen: %.0f achieved qps, %d requests, report written to %s\n",
+		rep.AchievedQPS, rep.Requests, o.Out)
+}
+
+type options struct {
+	URL      string
+	Smoke    bool
+	Articles int
+	Duration time.Duration
+	QPS      float64
+	Workers  int
+	Zipf     float64
+	Probes   int
+	Seed     int64
+	Out      string
+}
+
+// Report is the BENCH_7.json shape.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	Mode        string  `json:"mode"` // "smoke" or "remote"
+	Articles    int     `json:"articles"`
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationSec float64 `json:"duration_seconds"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed_503"`
+	Dropped     int64   `json:"client_dropped"`
+
+	Routes map[string]RouteStats `json:"routes"`
+	Cache  CacheProbe            `json:"cache"`
+}
+
+// RouteStats summarises the latency distribution of one route.
+type RouteStats struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// CacheProbe compares the /query index path (cold, distinct queries)
+// against the response-cache path (hot, one repeated query).
+type CacheProbe struct {
+	ColdP50ms float64 `json:"cold_p50_ms"`
+	HotP50ms  float64 `json:"hot_p50_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// run executes the whole benchmark and assembles the report. Split
+// from main so the smoke path is testable in-process.
+func run(o options) (*Report, error) {
+	base := o.URL
+	mode := "remote"
+	articles := 0
+	if o.Smoke {
+		mode = "smoke"
+		articles = o.Articles
+		cfg := gen.NewDefaultConfig(o.Articles)
+		cfg.Seed = o.Seed
+		c, err := gen.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("generate corpus: %w", err)
+		}
+		// The smoke server runs with admission control on, sized to the
+		// machine: under open-loop overload the excess sheds fast with
+		// 503 (counted separately below) instead of queueing without
+		// bound, so the percentiles describe admitted requests.
+		srv, err := serve.NewWithConfig(c.Store, serve.Config{
+			Options:     core.DefaultOptions(),
+			MaxInflight: 2 * runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rank corpus: %w", err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	} else if base == "" {
+		return nil, fmt.Errorf("need -url or -smoke")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	w, err := harvest(client, base, o.Seed, o.Zipf)
+	if err != nil {
+		return nil, err
+	}
+	if articles == 0 {
+		articles = len(w.articleKeys)
+	}
+
+	rep := drive(client, base, w, o)
+	rep.Mode = mode
+	rep.Articles = articles
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	probe, err := probeCache(client, base, w, o.Probes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Cache = probe
+	return rep, nil
+}
+
+// workload holds the harvested key universe the generator draws from.
+type workload struct {
+	rng         *rand.Rand
+	zipf        float64
+	articleKeys []string
+	authorKeys  []string
+	venueKeys   []string
+	minYear     int
+	maxYear     int
+}
+
+// harvest learns the key universe from the server itself (top
+// articles, authors and venues), so external and smoke runs share one
+// code path and the generator never requests keys that 404.
+func harvest(client *http.Client, base string, seed int64, zipf float64) (*workload, error) {
+	w := &workload{rng: rand.New(rand.NewSource(seed)), zipf: zipf,
+		minYear: 1 << 30, maxYear: -(1 << 30)}
+
+	var tops []struct {
+		Key  string `json:"key"`
+		Year int    `json:"year"`
+	}
+	if err := getJSON(client, base+"/top?k=1000", &tops); err != nil {
+		return nil, fmt.Errorf("harvest /top: %w", err)
+	}
+	for _, a := range tops {
+		w.articleKeys = append(w.articleKeys, a.Key)
+		if a.Year < w.minYear {
+			w.minYear = a.Year
+		}
+		if a.Year > w.maxYear {
+			w.maxYear = a.Year
+		}
+	}
+	if len(w.articleKeys) == 0 {
+		return nil, fmt.Errorf("harvest: server has no articles")
+	}
+
+	var entities []struct {
+		Key string `json:"key"`
+	}
+	if err := getJSON(client, base+"/authors?k=500", &entities); err != nil {
+		return nil, fmt.Errorf("harvest /authors: %w", err)
+	}
+	for _, e := range entities {
+		w.authorKeys = append(w.authorKeys, e.Key)
+	}
+	entities = entities[:0]
+	if err := getJSON(client, base+"/venues?k=200", &entities); err != nil {
+		return nil, fmt.Errorf("harvest /venues: %w", err)
+	}
+	for _, e := range entities {
+		w.venueKeys = append(w.venueKeys, e.Key)
+	}
+	return w, nil
+}
+
+// pick draws an index in [0, n) with zipf-ish popularity: rank 0 is
+// the hottest key. Inverse-CDF over 1/(i+1)^s would need a table per
+// n; the rejection-free approximation below (power of a uniform)
+// matches the skew shape well enough for cache realism.
+func (w *workload) pick(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := w.rng.Float64()
+	i := int(float64(n) * math.Pow(u, w.zipf+1))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// next produces the next request path: a fixed route mix with
+// zipf-popular keys.
+func (w *workload) next() (route, path string) {
+	r := w.rng.Float64()
+	switch {
+	case r < 0.20:
+		return "/top", fmt.Sprintf("/top?k=%d", 10+w.rng.Intn(90))
+	case r < 0.55:
+		return "/query", w.queryPath()
+	case r < 0.85:
+		key := w.articleKeys[w.pick(len(w.articleKeys))]
+		return "/article", "/article?key=" + key
+	default:
+		// Related queries run a personalised walk per cold key — the
+		// dearest read the server has. Real traffic concentrates them
+		// on popular article pages, so draw from a small hot set; the
+		// server's response cache absorbs the repeats.
+		hot := len(w.articleKeys)
+		if hot > 50 {
+			hot = 50
+		}
+		key := w.articleKeys[w.pick(hot)]
+		return "/related", fmt.Sprintf("/related?key=%s&k=10", key)
+	}
+}
+
+func (w *workload) queryPath() string {
+	p := fmt.Sprintf("/query?k=%d", 5+w.rng.Intn(45))
+	switch w.rng.Intn(3) {
+	case 0:
+		if len(w.authorKeys) > 0 {
+			p += "&author=" + w.authorKeys[w.pick(len(w.authorKeys))]
+		}
+	case 1:
+		if len(w.venueKeys) > 0 {
+			p += "&venue=" + w.venueKeys[w.pick(len(w.venueKeys))]
+		}
+	default:
+		if len(w.venueKeys) > 0 && w.rng.Intn(2) == 0 {
+			p += "&venue=" + w.venueKeys[w.pick(len(w.venueKeys))]
+		}
+	}
+	if w.maxYear > w.minYear && w.rng.Intn(2) == 0 {
+		span := w.maxYear - w.minYear
+		from := w.minYear + w.rng.Intn(span)
+		to := from + 1 + w.rng.Intn(span)
+		p += fmt.Sprintf("&from=%d&to=%d", from, to)
+	}
+	return p
+}
+
+// sample is one completed request.
+type sample struct {
+	route   string
+	elapsed time.Duration
+	status  int
+	err     bool
+}
+
+// drive runs the open-loop timed phase: a fixed-rate arrival clock
+// feeds a bounded worker pool; arrivals that find the pool saturated
+// are counted as client-side drops rather than stalling the clock.
+func drive(client *http.Client, base string, w *workload, o options) *Report {
+	type job struct{ route, path string }
+	jobs := make(chan job, o.Workers)
+	results := make(chan sample, 4*o.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < o.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				resp, err := client.Get(base + j.path)
+				s := sample{route: j.route, elapsed: time.Since(start)}
+				if err != nil {
+					s.err = true
+				} else {
+					s.status = resp.StatusCode
+					resp.Body.Close()
+				}
+				results <- s
+			}
+		}()
+	}
+
+	var dropped atomic.Int64
+	go func() {
+		interval := time.Duration(float64(time.Second) / o.QPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		deadline := time.Now().Add(o.Duration)
+		for now := range ticker.C {
+			if now.After(deadline) {
+				break
+			}
+			route, path := w.next()
+			select {
+			case jobs <- job{route, path}:
+			default:
+				dropped.Add(1)
+			}
+		}
+		close(jobs)
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	byRoute := map[string][]time.Duration{}
+	rep := &Report{TargetQPS: o.QPS, Routes: map[string]RouteStats{}}
+	// Percentiles describe served responses only; shed (503) and
+	// errored requests are counted but excluded, so admission control
+	// firing cannot flatter the latency numbers.
+	record := func(s sample) {
+		rep.Requests++
+		switch {
+		case s.err:
+			rep.Errors++
+		case s.status == http.StatusServiceUnavailable:
+			rep.Shed++
+		case s.status >= 500:
+			rep.Errors++
+		case s.status == http.StatusOK:
+			byRoute[s.route] = append(byRoute[s.route], s.elapsed)
+		}
+	}
+	start := time.Now()
+collect:
+	for {
+		select {
+		case s := <-results:
+			record(s)
+		case <-done:
+			// Drain anything the workers pushed before exiting.
+			for {
+				select {
+				case s := <-results:
+					record(s)
+				default:
+					break collect
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	rep.DurationSec = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.Dropped = dropped.Load()
+	for route, ds := range byRoute {
+		rep.Routes[route] = RouteStats{
+			Count: int64(len(ds)),
+			P50ms: percentileMS(ds, 50),
+			P95ms: percentileMS(ds, 95),
+			P99ms: percentileMS(ds, 99),
+		}
+	}
+	return rep
+}
+
+// probeCache measures the cache's effect directly: n distinct /query
+// URLs that cannot have been cached (cold: the index computes each)
+// versus the same URL n times after one warming request (hot: the
+// cache serves each). Sequential on one connection so the two sides
+// measure the server path, not client-side contention.
+func probeCache(client *http.Client, base string, w *workload, n int) (CacheProbe, error) {
+	if n <= 0 {
+		n = 50
+	}
+	span := w.maxYear - w.minYear
+	if span < 2 {
+		span = 2
+	}
+	cold := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		// Distinct (from, to, k) triples no generator phase produced:
+		// loadgen's timed phase uses k in [5,50), the probe uses
+		// k in [800,1000) so these keys are guaranteed cache misses.
+		// Large pages make the cold side representative — the index
+		// walk plus building and serialising a full page of views,
+		// the work a cache hit skips.
+		from := w.minYear + i%span
+		to := from + 1 + (i/span)%span
+		url := fmt.Sprintf("%s/query?from=%d&to=%d&k=%d", base, from, to, 800+i%200)
+		d, err := timeGet(client, url)
+		if err != nil {
+			return CacheProbe{}, fmt.Errorf("cold probe: %w", err)
+		}
+		cold = append(cold, d)
+	}
+	hotURL := fmt.Sprintf("%s/query?from=%d&to=%d&k=1000", base, w.minYear, w.maxYear)
+	if _, err := timeGet(client, hotURL); err != nil { // warm the entry
+		return CacheProbe{}, fmt.Errorf("warm probe: %w", err)
+	}
+	hot := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := timeGet(client, hotURL)
+		if err != nil {
+			return CacheProbe{}, fmt.Errorf("hot probe: %w", err)
+		}
+		hot = append(hot, d)
+	}
+	p := CacheProbe{ColdP50ms: percentileMS(cold, 50), HotP50ms: percentileMS(hot, 50)}
+	if p.HotP50ms > 0 {
+		p.Speedup = p.ColdP50ms / p.HotP50ms
+	}
+	return p, nil
+}
+
+func timeGet(client *http.Client, url string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// percentileMS returns the p-th percentile of ds in milliseconds
+// (nearest-rank on a sorted copy).
+func percentileMS(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (p*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeRun exercises the whole harness end to end at toy scale:
+// generate, rank, serve in-process, drive the mixed workload, probe
+// the cache, and sanity-check the report.
+func TestSmokeRun(t *testing.T) {
+	rep, err := run(options{
+		Smoke:    true,
+		Articles: 1500,
+		Duration: 300 * time.Millisecond,
+		QPS:      400,
+		Workers:  8,
+		Zipf:     1.1,
+		Probes:   20,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "smoke" || rep.Articles != 1500 {
+		t.Errorf("mode=%q articles=%d", rep.Mode, rep.Articles)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d request errors", rep.Errors)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Errorf("achieved qps = %f", rep.AchievedQPS)
+	}
+	for _, route := range []string{"/top", "/query", "/article", "/related"} {
+		rs, ok := rep.Routes[route]
+		if !ok || rs.Count == 0 {
+			t.Errorf("route %s has no samples", route)
+			continue
+		}
+		if rs.P50ms <= 0 || rs.P99ms < rs.P50ms {
+			t.Errorf("route %s percentiles p50=%f p99=%f", route, rs.P50ms, rs.P99ms)
+		}
+	}
+	if rep.Cache.ColdP50ms <= 0 || rep.Cache.HotP50ms <= 0 {
+		t.Errorf("cache probe missing: %+v", rep.Cache)
+	}
+	if rep.Cache.Speedup <= 0 {
+		t.Errorf("cache speedup = %f", rep.Cache.Speedup)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{
+		4 * time.Millisecond, 1 * time.Millisecond,
+		3 * time.Millisecond, 2 * time.Millisecond,
+	}
+	if got := percentileMS(ds, 50); got != 2 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := percentileMS(ds, 99); got != 4 {
+		t.Errorf("p99 = %f", got)
+	}
+	if got := percentileMS(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %f", got)
+	}
+}

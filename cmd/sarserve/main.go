@@ -13,6 +13,10 @@
 //	                              histograms, swap/ingest counters,
 //	                              solver convergence gauges)
 //	GET  /top?k=20                top-k articles by importance
+//	GET  /query?author=A&venue=V&from=2000&to=2010&k=20&cursor=...
+//	                              filtered top-k retrieval (author, venue,
+//	                              year window) with cursor pagination and a
+//	                              generation-keyed response cache
 //	GET  /article?key=p00000001   one article with its score components
 //	GET  /compare?a=KEY&b=KEY     relative order of two articles, with
 //	                              the signal breakdown explaining it
@@ -74,20 +78,24 @@ const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
-		in        = flag.String("in", "", "corpus file (jsonl, tsv, bin or scorp); required unless -corpus is set")
-		scorpPath = flag.String("corpus", "", "columnar SCORP corpus for zero-parse boot (overrides -in)")
-		mmapFlag  = flag.Bool("mmap", true, "serve -corpus via mmap: O(1) boot, page-cache backed (falls back to the heap loader on unaligned or legacy files)")
-		format    = flag.String("format", "", "corpus format override (with -in)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
-		scores    = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
-		spool     = flag.String("spool", "", "directory watched for JSONL delta files")
-		refresh   = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
-		debounce  = flag.Duration("debounce", 2*time.Second, "quiet period before a spool batch is ingested")
-		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		reqLog    = flag.Bool("request-log", true, "log one structured line per request")
+		in          = flag.String("in", "", "corpus file (jsonl, tsv, bin or scorp); required unless -corpus is set")
+		scorpPath   = flag.String("corpus", "", "columnar SCORP corpus for zero-parse boot (overrides -in)")
+		mmapFlag    = flag.Bool("mmap", true, "serve -corpus via mmap: O(1) boot, page-cache backed (falls back to the heap loader on unaligned or legacy files)")
+		format      = flag.String("format", "", "corpus format override (with -in)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		scores      = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
+		spool       = flag.String("spool", "", "directory watched for JSONL delta files")
+		refresh     = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
+		debounce    = flag.Duration("debounce", 2*time.Second, "quiet period before a spool batch is ingested")
+		maxK        = flag.Int("max-k", 0, "upper bound of the k parameter on top-K endpoints (0 = default 1000)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently served read requests; excess queues then sheds with 503 (0 = unlimited)")
+		queueWait   = flag.Duration("queue-timeout", 0, "how long an over-limit read request may queue before shedding (0 = default 100ms)")
+		cacheSize   = flag.Int("cache-entries", 0, "query response cache size in entries (0 = default 4096, negative disables)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		reqLog      = flag.Bool("request-log", true, "log one structured line per request")
 	)
 	flag.Parse()
 
@@ -139,6 +147,10 @@ func main() {
 		SpoolDir:          *spool,
 		RefreshInterval:   *refresh,
 		Debounce:          *debounce,
+		MaxTopK:           *maxK,
+		MaxInflight:       *maxInflight,
+		QueueTimeout:      *queueWait,
+		CacheEntries:      *cacheSize,
 		RequestLog:        *reqLog,
 		EnablePprof:       *pprofFlag,
 		CorpusLoadSeconds: loadElapsed.Seconds(),

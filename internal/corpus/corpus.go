@@ -144,6 +144,11 @@ type Store struct {
 
 	lookupOnce sync.Once
 	byKey      map[string]ArticleID
+
+	authorLookupOnce sync.Once
+	authorByKey      map[string]AuthorID
+	venueLookupOnce  sync.Once
+	venueByKey       map[string]VenueID
 }
 
 func colLen(off []int64) int {
@@ -223,6 +228,36 @@ func (s *Store) ArticleByKey(key string) (ArticleID, bool) {
 		s.byKey = m
 	})
 	id, ok := s.byKey[key]
+	return id, ok
+}
+
+// AuthorByKey looks up an author by its external key. Like
+// ArticleByKey the map is built lazily on first use (the query
+// subsystem resolves filter parameters through it) and shared by all
+// readers afterwards.
+func (s *Store) AuthorByKey(key string) (AuthorID, bool) {
+	s.authorLookupOnce.Do(func() {
+		m := make(map[string]AuthorID, s.NumAuthors())
+		for i := 0; i < s.NumAuthors(); i++ {
+			m[s.str(s.authorKeyOff, int32(i))] = AuthorID(i)
+		}
+		s.authorByKey = m
+	})
+	id, ok := s.authorByKey[key]
+	return id, ok
+}
+
+// VenueByKey looks up a venue by its external key, building the
+// lookup map lazily on first use.
+func (s *Store) VenueByKey(key string) (VenueID, bool) {
+	s.venueLookupOnce.Do(func() {
+		m := make(map[string]VenueID, s.NumVenues())
+		for i := 0; i < s.NumVenues(); i++ {
+			m[s.str(s.venueKeyOff, int32(i))] = VenueID(i)
+		}
+		s.venueByKey = m
+	})
+	id, ok := s.venueByKey[key]
 	return id, ok
 }
 

@@ -157,6 +157,30 @@ func TestLookups(t *testing.T) {
 	}
 }
 
+func TestEntityLookups(t *testing.T) {
+	s := buildTiny(t)
+	aid, ok := s.AuthorByKey("b")
+	if !ok || s.Author(aid).Name != "Bob" {
+		t.Errorf("AuthorByKey(b) = %d, %v", aid, ok)
+	}
+	if _, ok := s.AuthorByKey("zz"); ok {
+		t.Error("found nonexistent author key")
+	}
+	vid, ok := s.VenueByKey("v")
+	if !ok || s.Venue(vid).Name != "ICDE" {
+		t.Errorf("VenueByKey(v) = %d, %v", vid, ok)
+	}
+	if _, ok := s.VenueByKey("zz"); ok {
+		t.Error("found nonexistent venue key")
+	}
+	// The lazy maps must survive the Thaw→Freeze round trip on the new
+	// store as well.
+	s2 := s.Thaw().Freeze()
+	if aid2, ok := s2.AuthorByKey("a"); !ok || s2.Author(aid2).Name != "Alice" {
+		t.Errorf("AuthorByKey after Thaw/Freeze = %d, %v", aid2, ok)
+	}
+}
+
 func TestYearsAndRange(t *testing.T) {
 	s := buildTiny(t)
 	ys := s.Years()

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a size-bounded LRU over rendered responses. It is
+// deliberately key-agnostic: the serving layer keys entries on the
+// normalized request plus the ranking generation version, which makes
+// hot-swap invalidation free — a new generation changes every key, so
+// stale entries are never hit again and age out of the LRU under
+// normal traffic.
+//
+// A nil *Cache is a valid, always-missing cache, so callers can
+// disable caching without branching at every call site. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one resident response.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to max entries. max <= 0 disables
+// caching (returns nil).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		return nil
+	}
+	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// Get returns the cached value for key, marking it most recently
+// used. The returned slice is shared: callers must treat it as
+// read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used
+// entry when the cache is full. The value is retained, not copied.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

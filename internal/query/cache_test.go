@@ -1,0 +1,90 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	// a was just used, so inserting c evicts b (the LRU entry).
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Errorf("k = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d after double put", c.Len())
+	}
+}
+
+// TestCacheVersionKeying is the invalidation-by-keying contract: the
+// same normalized request under a new generation version is a
+// different key, so a hot swap can never serve a stale body.
+func TestCacheVersionKeying(t *testing.T) {
+	c := NewCache(16)
+	c.Put("1|venue=v|k=10", []byte("old"))
+	if _, ok := c.Get("2|venue=v|k=10"); ok {
+		t.Fatal("new-version key hit an old-version entry")
+	}
+}
+
+func TestCacheNilDisabled(t *testing.T) {
+	var c *Cache
+	if c = NewCache(0); c != nil {
+		t.Fatal("max=0 should disable the cache")
+	}
+	c.Put("k", []byte("v")) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache has entries")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*13+i)%100)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.Put(k, []byte(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64 {
+		t.Errorf("cache overflowed its bound: %d", n)
+	}
+}

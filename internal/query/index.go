@@ -1,0 +1,297 @@
+// Package query is the filtered top-K retrieval subsystem behind the
+// serving layer's GET /query endpoint: the read path a search stack
+// actually hits once query-independent scores exist. Scores are
+// solved offline; what remains at query time is selection — "the
+// best articles by this author, at this venue, in this year window"
+// — which this package answers from indexes precomputed once per
+// ranking generation, never by scanning the full corpus order.
+//
+// The package has three parts, all generation-scoped or
+// generation-keyed:
+//
+//   - Index: an immutable per-generation structure combining the
+//     corpus's inverse author/venue CSRs with a year-grouped
+//     projection of the global rank order. Entity-filtered queries
+//     select over the (short) candidate rows; pure year-window
+//     queries k-way-merge per-year rank-sorted groups. Both are
+//     O(candidates) or O(K log years), independent of corpus size.
+//   - Cache: a size-bounded LRU over rendered responses. Callers key
+//     entries on the normalized request plus the ranking version, so
+//     a generation hot-swap invalidates every stale entry for free —
+//     old keys simply stop being asked for and age out.
+//   - Limiter: admission control for the read path — a concurrency
+//     semaphore with a bounded queue wait, so overload degrades into
+//     fast, explicit load shedding instead of collapse.
+package query
+
+import (
+	"container/heap"
+	"sort"
+
+	"scholarrank/internal/corpus"
+)
+
+// None disables an entity filter dimension.
+const None = corpus.VenueID(-1)
+
+// Filter is one retrieval request against an Index.
+type Filter struct {
+	// Author restricts results to articles by this author; None
+	// disables the dimension. When both Author and Venue are set the
+	// result is their intersection.
+	Author corpus.AuthorID
+	// Venue restricts results to articles published at this venue.
+	Venue corpus.VenueID
+	// From and To bound the publication year, inclusive. They are
+	// clamped to the corpus's year range, so callers pass the index's
+	// YearBounds for open ends.
+	From, To int
+	// After is the pagination cursor: only articles whose global rank
+	// position is strictly greater are returned. Zero starts at the
+	// top. Rank positions are unique, so paging through a fixed
+	// filter enumerates the result set exactly once, in order.
+	After int
+	// K is the maximum number of results.
+	K int
+}
+
+// Index answers filtered top-K queries for one immutable ranking
+// generation. It is built once at generation construction and is safe
+// for any number of concurrent readers; every slice it holds either
+// aliases frozen corpus columns or is derived at build time and never
+// mutated.
+type Index struct {
+	order []int // article ids by ascending rank position
+	pos   []int // pos[article] = 1-based global rank
+
+	years            []int32
+	minYear, maxYear int
+	yearOff          []int32 // (years+1) group offsets into byYear
+	byYear           []int32 // ids grouped by year, pos-ascending per group
+
+	authorOff  []int64 // author→articles CSR (rows ascending by id)
+	authorArts []corpus.ArticleID
+	venueOff   []int64 // venue→articles CSR (rows ascending by id)
+	venueArts  []corpus.ArticleID
+}
+
+// New builds the retrieval index for a frozen store and its solved
+// rank order. order holds article ids by descending importance and
+// pos the inverse 1-based mapping (as computed by the serving layer);
+// both are retained, not copied, and must not be mutated afterwards.
+func New(store *corpus.Store, order, pos []int) *Index {
+	ix := &Index{order: order, pos: pos, years: store.YearColumn()}
+	ix.minYear, ix.maxYear = store.YearRange()
+	ix.authorOff, ix.authorArts = store.AuthorArticlesCSR()
+	ix.venueOff, ix.venueArts = store.VenueArticlesCSR()
+
+	ny := 0
+	if len(order) > 0 {
+		ny = ix.maxYear - ix.minYear + 1
+	}
+	ix.yearOff = make([]int32, ny+1)
+	for _, y := range ix.years {
+		ix.yearOff[int(y)-ix.minYear+1]++
+	}
+	for i := 1; i <= ny; i++ {
+		ix.yearOff[i] += ix.yearOff[i-1]
+	}
+	// Walking the global rank order while bucketing by year leaves
+	// every group internally sorted by rank position — the invariant
+	// both the cursor seek and the k-way merge rely on.
+	ix.byYear = make([]int32, len(order))
+	fill := make([]int32, ny)
+	for _, id := range order {
+		yi := int(ix.years[id]) - ix.minYear
+		ix.byYear[ix.yearOff[yi]+fill[yi]] = int32(id)
+		fill[yi]++
+	}
+	return ix
+}
+
+// YearBounds returns the corpus's publication year range, the open
+// ends of a year-window filter. (0, 0) for an empty corpus.
+func (ix *Index) YearBounds() (minYear, maxYear int) { return ix.minYear, ix.maxYear }
+
+// Pos returns the 1-based global rank position of an article — the
+// value a pagination cursor carries.
+func (ix *Index) Pos(id int32) int { return ix.pos[id] }
+
+// Search returns up to f.K article ids matching f in global rank
+// order (best first), and whether more matches exist beyond them. The
+// result order equals the brute-force "filter the full rank order"
+// answer exactly, but no path through Search scans the full corpus
+// order: entity filters iterate only the candidate CSR rows, and
+// year-window queries merge per-year groups lazily.
+func (ix *Index) Search(f Filter) (ids []int32, more bool) {
+	if f.K <= 0 || len(ix.order) == 0 {
+		return nil, false
+	}
+	from, to := f.From, f.To
+	if from < ix.minYear {
+		from = ix.minYear
+	}
+	if to > ix.maxYear {
+		to = ix.maxYear
+	}
+	if from > to {
+		return nil, false
+	}
+	if f.Author >= 0 || f.Venue >= 0 {
+		return ix.searchCandidates(f, from, to)
+	}
+	if from == ix.minYear && to == ix.maxYear {
+		// Unfiltered: the page is a slice of the global order. pos of
+		// order[i] is i+1, so "pos > After" starts at index After.
+		start := f.After
+		if start >= len(ix.order) {
+			return nil, false
+		}
+		end := start + f.K
+		if end > len(ix.order) {
+			end = len(ix.order)
+		}
+		out := make([]int32, 0, end-start)
+		for _, id := range ix.order[start:end] {
+			out = append(out, int32(id))
+		}
+		return out, end < len(ix.order)
+	}
+	return ix.searchYears(f, from, to)
+}
+
+// searchCandidates selects the K best articles from an entity filter's
+// candidate row(s): the author's articles, the venue's, or their
+// intersection (both CSR rows are ascending by article id, so the
+// intersection is a linear two-pointer walk). A bounded max-heap keeps
+// the K smallest rank positions seen, so cost is O(row · log K).
+func (ix *Index) searchCandidates(f Filter, from, to int) ([]int32, bool) {
+	var cands []corpus.ArticleID
+	switch {
+	case f.Author >= 0 && f.Venue >= 0:
+		cands = intersect(
+			ix.authorArts[ix.authorOff[f.Author]:ix.authorOff[f.Author+1]],
+			ix.venueArts[ix.venueOff[f.Venue]:ix.venueOff[f.Venue+1]])
+	case f.Author >= 0:
+		cands = ix.authorArts[ix.authorOff[f.Author]:ix.authorOff[f.Author+1]]
+	default:
+		cands = ix.venueArts[ix.venueOff[f.Venue]:ix.venueOff[f.Venue+1]]
+	}
+	h := worstHeap{pos: ix.pos}
+	matched := 0
+	for _, id := range cands {
+		if y := int(ix.years[id]); y < from || y > to {
+			continue
+		}
+		if ix.pos[id] <= f.After {
+			continue
+		}
+		matched++
+		heap.Push(&h, int32(id))
+		if h.Len() > f.K {
+			heap.Pop(&h)
+		}
+	}
+	// Drain the heap worst-first into the tail of the result.
+	out := make([]int32, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(int32)
+	}
+	return out, matched > f.K
+}
+
+// searchYears answers a pure year-window query by k-way merging the
+// per-year groups, each already sorted by rank position. The cursor
+// seeds each group past the After position with a binary search, so a
+// deep page costs the same as the first one.
+func (ix *Index) searchYears(f Filter, from, to int) ([]int32, bool) {
+	h := mergeHeap{pos: ix.pos}
+	for y := from; y <= to; y++ {
+		g := ix.byYear[ix.yearOff[y-ix.minYear]:ix.yearOff[y-ix.minYear+1]]
+		i := sort.Search(len(g), func(i int) bool { return ix.pos[g[i]] > f.After })
+		if i < len(g) {
+			h.runs = append(h.runs, run{group: g, idx: i})
+		}
+	}
+	heap.Init(&h)
+	out := make([]int32, 0, f.K)
+	for len(out) < f.K && h.Len() > 0 {
+		r := &h.runs[0]
+		out = append(out, r.group[r.idx])
+		r.idx++
+		if r.idx < len(r.group) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out, h.Len() > 0
+}
+
+// intersect returns the common elements of two ascending id slices.
+func intersect(a, b []corpus.ArticleID) []corpus.ArticleID {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]corpus.ArticleID, 0, n)
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// worstHeap is a max-heap of article ids by rank position: the root
+// is the worst-ranked of the K best seen so far.
+type worstHeap struct {
+	ids []int32
+	pos []int
+}
+
+func (h *worstHeap) Len() int           { return len(h.ids) }
+func (h *worstHeap) Less(i, j int) bool { return h.pos[h.ids[i]] > h.pos[h.ids[j]] }
+func (h *worstHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *worstHeap) Push(x any)         { h.ids = append(h.ids, x.(int32)) }
+func (h *worstHeap) Pop() any {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// run is one per-year group's merge cursor.
+type run struct {
+	group []int32
+	idx   int
+}
+
+// mergeHeap is a min-heap of runs by the rank position of each run's
+// current head.
+type mergeHeap struct {
+	runs []run
+	pos  []int
+}
+
+func (h *mergeHeap) Len() int { return len(h.runs) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.pos[h.runs[i].group[h.runs[i].idx]] < h.pos[h.runs[j].group[h.runs[j].idx]]
+}
+func (h *mergeHeap) Swap(i, j int) { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *mergeHeap) Push(x any)    { h.runs = append(h.runs, x.(run)) }
+func (h *mergeHeap) Pop() any {
+	old := h.runs
+	n := len(old)
+	x := old[n-1]
+	h.runs = old[:n-1]
+	return x
+}

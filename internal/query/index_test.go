@@ -1,0 +1,283 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scholarrank/internal/corpus"
+)
+
+// randomStore builds a random corpus of n articles with years in
+// [2000, 2000+spanYears), nAuthors authors (1-3 per article) and
+// nVenues venues (some articles venue-less).
+func randomStore(t *testing.T, rng *rand.Rand, n, spanYears, nAuthors, nVenues int) *corpus.Store {
+	t.Helper()
+	b := corpus.NewBuilder()
+	authors := make([]corpus.AuthorID, nAuthors)
+	for i := range authors {
+		id, err := b.InternAuthor(fmt.Sprintf("au%d", i), fmt.Sprintf("Author %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		authors[i] = id
+	}
+	venues := make([]corpus.VenueID, nVenues)
+	for i := range venues {
+		id, err := b.InternVenue(fmt.Sprintf("ve%d", i), fmt.Sprintf("Venue %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		venues[i] = id
+	}
+	for i := 0; i < n; i++ {
+		na := 1 + rng.Intn(3)
+		if na > len(authors) {
+			na = len(authors)
+		}
+		as := make([]corpus.AuthorID, 0, na)
+		seen := map[corpus.AuthorID]bool{}
+		for len(as) < na {
+			a := authors[rng.Intn(len(authors))]
+			if !seen[a] {
+				seen[a] = true
+				as = append(as, a)
+			}
+		}
+		v := corpus.NoVenue
+		if rng.Intn(4) > 0 {
+			v = venues[rng.Intn(len(venues))]
+		}
+		if _, err := b.AddArticle(corpus.ArticleMeta{
+			Key: fmt.Sprintf("p%d", i), Year: 2000 + rng.Intn(spanYears),
+			Venue: v, Authors: as,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Freeze()
+}
+
+// randomOrder assigns every article a distinct random rank: order is
+// a random permutation, pos its 1-based inverse.
+func randomOrder(rng *rand.Rand, n int) (order, pos []int) {
+	order = rng.Perm(n)
+	pos = make([]int, n)
+	for p, id := range order {
+		pos[id] = p + 1
+	}
+	return order, pos
+}
+
+// bruteForce filters the full rank order — the reference Search must
+// match exactly.
+func bruteForce(s *corpus.Store, order []int, pos []int, f Filter) (ids []int32, more bool) {
+	var all []int32
+	for _, id := range order {
+		if pos[id] <= f.After {
+			continue
+		}
+		if y := s.Year(corpus.ArticleID(id)); y < f.From || y > f.To {
+			continue
+		}
+		if f.Author >= 0 {
+			found := false
+			for _, a := range s.Authors(corpus.ArticleID(id)) {
+				if a == f.Author {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		if f.Venue >= 0 && s.VenueOf(corpus.ArticleID(id)) != f.Venue {
+			continue
+		}
+		all = append(all, int32(id))
+	}
+	if len(all) > f.K {
+		return all[:f.K], true
+	}
+	return all, false
+}
+
+// TestSearchMatchesBruteForce is the acceptance property test: across
+// random corpora, rank orders and filters, Search equals the
+// brute-force filter of the full order — exact ids, exact order,
+// exact has-more flag.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		span := 1 + rng.Intn(25)
+		s := randomStore(t, rng, n, span, 2+rng.Intn(10), 1+rng.Intn(6))
+		order, pos := randomOrder(rng, n)
+		ix := New(s, order, pos)
+		minY, maxY := ix.YearBounds()
+		for q := 0; q < 30; q++ {
+			f := Filter{Author: -1, Venue: -1, From: minY, To: maxY, K: 1 + rng.Intn(n+10)}
+			if rng.Intn(2) == 0 {
+				f.Author = corpus.AuthorID(rng.Intn(s.NumAuthors()))
+			}
+			if rng.Intn(3) == 0 {
+				f.Venue = corpus.VenueID(rng.Intn(s.NumVenues()))
+			}
+			if rng.Intn(2) == 0 {
+				f.From = minY + rng.Intn(span+2) - 1
+				f.To = f.From + rng.Intn(span)
+			}
+			if rng.Intn(3) == 0 {
+				f.After = rng.Intn(n + 2)
+			}
+			got, gotMore := ix.Search(f)
+			want, wantMore := bruteForce(s, order, pos, f)
+			if !equalIDs(got, want) || gotMore != wantMore {
+				t.Fatalf("trial %d query %+v:\n got %v more=%v\nwant %v more=%v",
+					trial, f, got, gotMore, want, wantMore)
+			}
+		}
+	}
+}
+
+// TestSearchPaginationWalk pages through random filters with small K
+// and checks the concatenation equals the unpaginated result: cursors
+// are stable and neither skip nor repeat.
+func TestSearchPaginationWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(200)
+		s := randomStore(t, rng, n, 12, 6, 4)
+		order, pos := randomOrder(rng, n)
+		ix := New(s, order, pos)
+		minY, maxY := ix.YearBounds()
+		f := Filter{Author: -1, Venue: -1, From: minY, To: maxY, K: n + 1}
+		switch trial % 3 {
+		case 0:
+			f.Author = corpus.AuthorID(rng.Intn(s.NumAuthors()))
+		case 1:
+			f.Venue = corpus.VenueID(rng.Intn(s.NumVenues()))
+		case 2:
+			f.From = minY + 2
+			f.To = maxY - 2
+		}
+		want, _ := ix.Search(f)
+
+		var walked []int32
+		page := f
+		page.K = 1 + rng.Intn(4)
+		for {
+			ids, more := ix.Search(page)
+			walked = append(walked, ids...)
+			if !more {
+				break
+			}
+			if len(ids) == 0 {
+				t.Fatalf("trial %d: more=true with empty page", trial)
+			}
+			page.After = ix.Pos(ids[len(ids)-1])
+		}
+		if !equalIDs(walked, want) {
+			t.Fatalf("trial %d: paged walk %v != full result %v", trial, walked, want)
+		}
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomStore(t, rng, 50, 10, 4, 3)
+	order, pos := randomOrder(rng, 50)
+	ix := New(s, order, pos)
+	minY, maxY := ix.YearBounds()
+
+	if ids, more := ix.Search(Filter{Author: -1, Venue: -1, From: minY, To: maxY, K: 0}); ids != nil || more {
+		t.Errorf("K=0: got %v, %v", ids, more)
+	}
+	// Inverted and out-of-range windows are empty.
+	if ids, _ := ix.Search(Filter{Author: -1, Venue: -1, From: maxY, To: minY, K: 5}); len(ids) != 0 {
+		t.Errorf("inverted window returned %v", ids)
+	}
+	if ids, _ := ix.Search(Filter{Author: -1, Venue: -1, From: maxY + 1, To: maxY + 5, K: 5}); len(ids) != 0 {
+		t.Errorf("future window returned %v", ids)
+	}
+	// A cursor past the last rank yields an empty final page.
+	if ids, more := ix.Search(Filter{Author: -1, Venue: -1, From: minY, To: maxY, After: 50, K: 5}); len(ids) != 0 || more {
+		t.Errorf("exhausted cursor: got %v, %v", ids, more)
+	}
+	// Unfiltered search is the identity on the rank order.
+	ids, more := ix.Search(Filter{Author: -1, Venue: -1, From: minY, To: maxY, K: 50})
+	if len(ids) != 50 || more {
+		t.Fatalf("full scan: %d ids, more=%v", len(ids), more)
+	}
+	for i, id := range ids {
+		if int(id) != order[i] {
+			t.Fatalf("full scan order mismatch at %d", i)
+		}
+	}
+}
+
+// TestEmptyIndex checks the zero-article corpus degenerates cleanly.
+func TestEmptyIndex(t *testing.T) {
+	ix := New(corpus.NewBuilder().Freeze(), nil, nil)
+	if ids, more := ix.Search(Filter{Author: -1, Venue: -1, K: 10}); ids != nil || more {
+		t.Errorf("empty corpus: got %v, %v", ids, more)
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkSearch exercises the three retrieval paths on a 100k-ish
+// candidate structure.
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	builder := corpus.NewBuilder()
+	const n = 100000
+	var authors []corpus.AuthorID
+	for i := 0; i < 2000; i++ {
+		id, _ := builder.InternAuthor(fmt.Sprintf("au%d", i), "")
+		authors = append(authors, id)
+	}
+	var venues []corpus.VenueID
+	for i := 0; i < 100; i++ {
+		id, _ := builder.InternVenue(fmt.Sprintf("ve%d", i), "")
+		venues = append(venues, id)
+	}
+	for i := 0; i < n; i++ {
+		builder.AddArticle(corpus.ArticleMeta{
+			Key: fmt.Sprintf("p%d", i), Year: 1980 + rng.Intn(40),
+			Venue:   venues[rng.Intn(len(venues))],
+			Authors: []corpus.AuthorID{authors[rng.Intn(len(authors))]},
+		})
+	}
+	s := builder.Freeze()
+	order, pos := randomOrder(rng, n)
+	ix := New(s, order, pos)
+	minY, maxY := ix.YearBounds()
+	cases := []struct {
+		name string
+		f    Filter
+	}{
+		{"venue", Filter{Author: -1, Venue: venues[7], From: minY, To: maxY, K: 100}},
+		{"author_venue", Filter{Author: authors[3], Venue: venues[7], From: minY, To: maxY, K: 100}},
+		{"year_window", Filter{Author: -1, Venue: -1, From: 1990, To: 2000, K: 100}},
+		{"unfiltered", Filter{Author: -1, Venue: -1, From: minY, To: maxY, K: 100}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Search(c.f)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/live"
+	"scholarrank/internal/query"
 	"scholarrank/internal/rank"
 )
 
@@ -45,9 +46,16 @@ type generation struct {
 	order  []int // article indices by descending importance
 	pos    []int // pos[article] = 1-based rank position
 
-	// Entity rankings derived from the article scores (shrunk mean).
+	// Entity rankings derived from the article scores (shrunk mean),
+	// with their rank orders precomputed once so /authors and /venues
+	// slice instead of re-running a top-K selection per request.
 	authorScores []float64
 	venueScores  []float64
+	authorOrder  []int // author ids by descending entity score
+	venueOrder   []int // venue ids by descending entity score
+
+	// Filtered top-K retrieval index behind GET /query.
+	qidx *query.Index
 
 	// Related-article index (bidirectional personalised walk).
 	related *rank.RelatedIndex
@@ -86,8 +94,11 @@ func newGeneration(store *corpus.Store, net *hetnet.Network, scores *core.Scores
 		fingerprint: live.Fingerprint(store),
 		store:       store, net: net, scores: scores, order: order, pos: pos,
 		authorScores: authorScores, venueScores: venueScores,
-		related:   related,
-		explainer: core.NewExplainer(scores),
+		authorOrder: rank.TopK(authorScores, len(authorScores)),
+		venueOrder:  rank.TopK(venueScores, len(venueScores)),
+		qidx:        query.New(store, order, pos),
+		related:     related,
+		explainer:   core.NewExplainer(scores),
 	}
 	g.refs.Store(1)
 	return g, nil

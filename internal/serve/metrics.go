@@ -30,6 +30,11 @@ const (
 	metricCorpusMmapBytes   = "sarserve_corpus_mmap_bytes"
 	metricCorpusBootSecs    = "sarserve_corpus_boot_seconds"
 	metricCorpusLoadMode    = "sarserve_corpus_load_mode"
+	metricQueryShed         = "sarserve_query_shed_total"
+	metricQueryQueueDepth   = "sarserve_query_queue_depth"
+	metricQueryCacheHits    = "sarserve_query_cache_hits_total"
+	metricQueryCacheMisses  = "sarserve_query_cache_misses_total"
+	metricQueryCacheEntries = "sarserve_query_cache_entries"
 )
 
 // serveMetrics bundles every instrument the serving layer records
@@ -44,6 +49,12 @@ type serveMetrics struct {
 	extrapolations    *obs.Counter
 	ingestApplied     *obs.Counter
 	ingestQuarantined *obs.Counter
+
+	// Query-subsystem instruments: load shedding on the read path and
+	// the /query response cache.
+	shed        *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 
 	// bootSeconds is set once by the booting command (see
 	// Server.RecordBootSeconds) — wall time from opening the corpus
@@ -70,6 +81,12 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Malformed spool delta files renamed aside as *.err.", nil),
 		bootSeconds: reg.Gauge(metricCorpusBootSecs,
 			"Wall time from opening the boot corpus file to a usable Store, in seconds.", nil),
+		shed: reg.Counter(metricQueryShed,
+			"Read requests shed by admission control (503 + Retry-After).", nil),
+		cacheHits: reg.Counter(metricQueryCacheHits,
+			"Read responses (/query, /related) served from the generation-keyed cache.", nil),
+		cacheMisses: reg.Counter(metricQueryCacheMisses,
+			"Read responses (/query, /related) computed rather than served from cache.", nil),
 	}
 }
 
@@ -173,6 +190,15 @@ func (m *serveMetrics) observeServer(s *Server) {
 	m.reg.GaugeFunc(metricCorpusLoadSecs,
 		"Wall time the boot corpus took to load from disk.", nil,
 		func() float64 { return s.cfg.CorpusLoadSeconds })
+
+	// Query-subsystem occupancy gauges. Cache and limiter methods are
+	// nil-safe, so these read zero on unconfigured servers.
+	m.reg.GaugeFunc(metricQueryQueueDepth,
+		"Read requests waiting for an admission slot.", nil,
+		func() float64 { return float64(s.limiter.QueueDepth()) })
+	m.reg.GaugeFunc(metricQueryCacheEntries,
+		"Entries resident in the read-path response cache.", nil,
+		func() float64 { return float64(s.cache.Len()) })
 
 	// Mapped-corpus gauges. These read slice headers and atomic
 	// counters only, so a scrape racing a generation swap never

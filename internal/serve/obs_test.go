@@ -50,6 +50,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sarserve_corpus_mmap_bytes 0",
 		`sarserve_corpus_load_mode{mode="heap"} 1`,
 		`sarserve_corpus_load_mode{mode="mmap"} 0`,
+		"# TYPE sarserve_query_shed_total counter",
+		"sarserve_query_shed_total 0",
+		"sarserve_query_queue_depth 0",
+		"sarserve_query_cache_hits_total 0",
+		"sarserve_query_cache_misses_total 0",
+		"sarserve_query_cache_entries 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)

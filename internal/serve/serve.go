@@ -13,11 +13,13 @@
 package serve
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,11 +29,21 @@ import (
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/live"
 	"scholarrank/internal/obs"
-	"scholarrank/internal/rank"
+	"scholarrank/internal/query"
 )
 
-// maxTopK bounds the /top page size.
-const maxTopK = 1000
+// defaultMaxTopK bounds the page size of every top-K endpoint unless
+// Config.MaxTopK overrides it.
+const defaultMaxTopK = 1000
+
+// defaultCacheEntries bounds the /query response cache when
+// Config.CacheEntries is zero.
+const defaultCacheEntries = 4096
+
+// defaultQueueTimeout is how long an over-limit request may wait for
+// an admission slot before being shed, when Config.QueueTimeout is
+// zero.
+const defaultQueueTimeout = 100 * time.Millisecond
 
 // maxIngestBytes bounds one /admin/ingest delta body (64 MiB).
 const maxIngestBytes = 64 << 20
@@ -54,6 +66,23 @@ type Config struct {
 	Debounce time.Duration
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+
+	// MaxTopK bounds the k parameter of every top-K endpoint. Zero
+	// selects the default (1000).
+	MaxTopK int
+	// MaxInflight caps concurrently served read requests (top, query,
+	// article, compare, authors, venues, related); excess requests
+	// queue up to QueueTimeout and are then shed with
+	// 503 + Retry-After. Zero disables admission control.
+	MaxInflight int
+	// QueueTimeout is how long an over-limit read request may wait for
+	// an admission slot. Zero selects the default (100ms) when
+	// MaxInflight is set.
+	QueueTimeout time.Duration
+	// CacheEntries bounds the /query response cache (entries, not
+	// bytes). Zero selects the default (4096); negative disables the
+	// cache.
+	CacheEntries int
 
 	// CorpusLoadSeconds records how long the boot corpus took to load
 	// from disk (set by the sarserve command); it is reported on
@@ -84,6 +113,16 @@ type Server struct {
 	clock   func() time.Time
 	log     *slog.Logger
 	metrics *serveMetrics
+
+	// maxK is the resolved MaxTopK bound; cache and limiter are the
+	// query subsystem's response cache and admission control (both
+	// nil-safe, so unconfigured servers skip them transparently). The
+	// cache outlives generations: entries are keyed on the ranking
+	// version, so a hot swap orphans stale entries instead of needing
+	// a flush.
+	maxK    int
+	cache   *query.Cache
+	limiter *query.Limiter
 
 	// gen is the serving state: swapped atomically, never mutated.
 	gen atomic.Pointer[generation]
@@ -178,6 +217,20 @@ func newServerShell(cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{cfg: cfg, clock: clock, log: logger, metrics: newServeMetrics(reg)}
+	s.maxK = cfg.MaxTopK
+	if s.maxK <= 0 {
+		s.maxK = defaultMaxTopK
+	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = defaultCacheEntries
+	}
+	s.cache = query.NewCache(entries) // nil (disabled) when entries < 0
+	timeout := cfg.QueueTimeout
+	if timeout == 0 {
+		timeout = defaultQueueTimeout
+	}
+	s.limiter = query.NewLimiter(cfg.MaxInflight, timeout)
 	s.metrics.observeServer(s)
 	return s
 }
@@ -266,14 +319,20 @@ func (s *Server) Handler() http.Handler {
 	route := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.metrics.http.Wrap(name, h))
 	}
+	// Ranking reads: pure functions of the serving generation, so they
+	// get ETag/If-None-Match handling and sit behind admission control.
+	read := func(pattern, name string, h func(http.ResponseWriter, *http.Request, *generation)) {
+		route(pattern, name, s.admit(s.read(h)))
+	}
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /stats", "/stats", s.handleStats)
-	route("GET /top", "/top", s.handleTop)
-	route("GET /article", "/article", s.handleArticle)
-	route("GET /compare", "/compare", s.handleCompare)
-	route("GET /authors", "/authors", s.handleAuthors)
-	route("GET /venues", "/venues", s.handleVenues)
-	route("GET /related", "/related", s.handleRelated)
+	read("GET /top", "/top", s.handleTop)
+	read("GET /query", "/query", s.handleQuery)
+	read("GET /article", "/article", s.handleArticle)
+	read("GET /compare", "/compare", s.handleCompare)
+	read("GET /authors", "/authors", s.handleAuthors)
+	read("GET /venues", "/venues", s.handleVenues)
+	read("GET /related", "/related", s.handleRelated)
 	route("POST /admin/ingest", "/admin/ingest", s.handleIngest)
 	route("POST /admin/reload", "/admin/reload", s.handleReload)
 	route("GET /admin/snapshot", "/admin/snapshot", s.handleSnapshot)
@@ -286,6 +345,62 @@ func (s *Server) Handler() http.Handler {
 		h = obs.AccessLog(s.log, h)
 	}
 	return obs.RequestID(h)
+}
+
+// read adapts a generation-scoped read handler: it pins the serving
+// generation for the request's lifetime, stamps the ranking version
+// and validator headers, and answers 304 Not Modified when the client
+// already holds this generation's payload. The ETag is the ranking
+// version — every response from one generation shares it, so between
+// hot swaps clients and proxies revalidate for free and a swap
+// changes the validator everywhere at once.
+func (s *Server) read(h func(http.ResponseWriter, *http.Request, *generation)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g := s.current(w)
+		defer g.release()
+		etag := `"` + strconv.FormatInt(g.version, 10) + `"`
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "public, no-cache")
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		h(w, r, g)
+	}
+}
+
+// etagMatch reports whether an If-None-Match header value matches
+// etag: the wildcard, or any member of the comma-separated list
+// (weak validators compare equal — the payload is byte-identical
+// within a generation).
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// admit applies admission control to one read route. Requests beyond
+// the in-flight limit queue briefly; when the queue wait times out
+// (or the client gives up) the request is shed with 503 and a
+// Retry-After hint instead of joining an unbounded backlog.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.limiter.Acquire(r.Context()) {
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "overloaded, retry later")
+			return
+		}
+		defer s.limiter.Release()
+		next(w, r)
+	}
 }
 
 // handleHealthz reports liveness plus the freshness of the ranking:
@@ -359,9 +474,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 
 // handleRelated returns the articles most related to a seed article:
 // the "readers of this paper also need" endpoint.
-func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request, g *generation) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
@@ -372,8 +485,15 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown article %q", key)
 		return
 	}
-	k, ok := parseK(w, r, g.store.NumArticles())
+	k, ok := s.parseK(w, r, g.store.NumArticles())
 	if !ok {
+		return
+	}
+	// A related query runs a personalised walk over the whole graph —
+	// by far the dearest read — so its responses ride the same
+	// generation-keyed cache as /query.
+	ckey := fmt.Sprintf("related|%d|%s|%d", g.version, key, k)
+	if s.serveCached(w, ckey) {
 		return
 	}
 	related, err := g.related.Related(id, k)
@@ -385,7 +505,7 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	for _, i := range related {
 		out = append(out, g.view(i))
 	}
-	writeJSON(w, out)
+	s.writeCached(w, ckey, out)
 }
 
 // EntityView is the JSON shape of one ranked author or venue.
@@ -397,15 +517,13 @@ type EntityView struct {
 	Articles int     `json:"articles"`
 }
 
-func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
-	k, ok := parseK(w, r, len(g.authorScores))
+func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request, g *generation) {
+	k, ok := s.parseK(w, r, len(g.authorScores))
 	if !ok {
 		return
 	}
 	out := make([]EntityView, 0, k)
-	for pos, i := range rank.TopK(g.authorScores, k) {
+	for pos, i := range g.authorOrder[:k] {
 		a := g.store.Author(corpus.AuthorID(i))
 		out = append(out, EntityView{
 			Key: a.Key, Name: a.Name, Rank: pos + 1,
@@ -416,15 +534,13 @@ func (s *Server) handleAuthors(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
-	k, ok := parseK(w, r, len(g.venueScores))
+func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request, g *generation) {
+	k, ok := s.parseK(w, r, len(g.venueScores))
 	if !ok {
 		return
 	}
 	out := make([]EntityView, 0, k)
-	for pos, i := range rank.TopK(g.venueScores, k) {
+	for pos, i := range g.venueOrder[:k] {
 		v := g.store.Venue(corpus.VenueID(i))
 		out = append(out, EntityView{
 			Key: v.Key, Name: v.Name, Rank: pos + 1,
@@ -436,12 +552,12 @@ func (s *Server) handleVenues(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseK extracts and validates the k query parameter, clamped to n.
-func parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
+func (s *Server) parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
 	k := 20
 	if v := r.URL.Query().Get("k"); v != "" {
 		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed <= 0 || parsed > maxTopK {
-			httpError(w, http.StatusBadRequest, "k must be an integer in 1..%d", maxTopK)
+		if err != nil || parsed <= 0 || parsed > s.maxK {
+			httpError(w, http.StatusBadRequest, "k must be an integer in 1..%d", s.maxK)
 			return 0, false
 		}
 		k = parsed
@@ -452,10 +568,8 @@ func parseK(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
 	return k, true
 }
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
-	k, ok := parseK(w, r, len(g.order))
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, g *generation) {
+	k, ok := s.parseK(w, r, len(g.order))
 	if !ok {
 		return
 	}
@@ -466,9 +580,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
+func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request, g *generation) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, "missing key parameter")
@@ -484,9 +596,7 @@ func (s *Server) handleArticle(w http.ResponseWriter, r *http.Request) {
 
 // handleCompare reports the relative order of two articles with their
 // full signal breakdown — the "why is X above Y" debugging endpoint.
-func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	g := s.current(w)
-	defer g.release()
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request, g *generation) {
 	q := r.URL.Query()
 	ka, kb := q.Get("a"), q.Get("b")
 	if ka == "" || kb == "" {
@@ -517,6 +627,151 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// QueryResponse is the JSON shape of one filtered top-K page.
+type QueryResponse struct {
+	Version int64 `json:"version"`
+	Count   int   `json:"count"`
+	// Results are in global rank order (best first).
+	Results []ArticleView `json:"results"`
+	// NextCursor resumes after the last result; absent on the final
+	// page. Cursors are opaque and generation-scoped: after a hot swap
+	// they answer 410 Gone and pagination restarts.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// handleQuery answers filtered top-K retrieval: articles by an
+// author and/or venue within a publication-year window, in global
+// rank order, paginated by an opaque cursor. Responses are served
+// from the generation-keyed LRU cache when the same normalized
+// request was answered under this ranking version before.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, g *generation) {
+	q := r.URL.Query()
+	f := query.Filter{Author: -1, Venue: -1}
+	authorKey, venueKey := q.Get("author"), q.Get("venue")
+	if authorKey != "" {
+		id, ok := g.store.AuthorByKey(authorKey)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown author %q", authorKey)
+			return
+		}
+		f.Author = id
+	}
+	if venueKey != "" {
+		id, ok := g.store.VenueByKey(venueKey)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown venue %q", venueKey)
+			return
+		}
+		f.Venue = id
+	}
+	// Open window ends normalize to the corpus year bounds, so
+	// "from=1800" and an absent from produce the same cache key.
+	f.From, f.To = g.qidx.YearBounds()
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"from", &f.From}, {"to", &f.To}} {
+		if v := q.Get(p.name); v != "" {
+			y, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%s must be an integer year", p.name)
+				return
+			}
+			*p.dst = y
+		}
+	}
+	k, ok := s.parseK(w, r, g.store.NumArticles())
+	if !ok {
+		return
+	}
+	f.K = k
+	if c := q.Get("cursor"); c != "" {
+		ver, after, err := decodeCursor(c)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "malformed cursor")
+			return
+		}
+		if ver != g.version {
+			httpError(w, http.StatusGone,
+				"cursor is from ranking version %d, now serving %d: restart pagination", ver, g.version)
+			return
+		}
+		f.After = after
+	}
+
+	key := fmt.Sprintf("query|%d|%s|%s|%d|%d|%d|%d",
+		g.version, authorKey, venueKey, f.From, f.To, f.K, f.After)
+	if s.serveCached(w, key) {
+		return
+	}
+
+	ids, more := g.qidx.Search(f)
+	resp := QueryResponse{Version: g.version, Count: len(ids),
+		Results: make([]ArticleView, 0, len(ids))}
+	for _, id := range ids {
+		resp.Results = append(resp.Results, g.view(int(id)))
+	}
+	if more && len(ids) > 0 {
+		resp.NextCursor = encodeCursor(g.version, g.qidx.Pos(ids[len(ids)-1]))
+	}
+	s.writeCached(w, key, &resp)
+}
+
+// serveCached answers from the response cache when the key is
+// resident, counting the hit or miss either way. The cache key must
+// embed the generation version (invalidation by keying).
+func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
+	body, ok := s.cache.Get(key)
+	if !ok {
+		s.metrics.cacheMisses.Inc()
+		return false
+	}
+	s.metrics.cacheHits.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+	return true
+}
+
+// writeCached marshals v, admits the body to the response cache under
+// key, and writes it.
+func (s *Server) writeCached(w http.ResponseWriter, key string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// encodeCursor packs (generation version, last rank position) into an
+// opaque page token.
+func encodeCursor(version int64, pos int) string {
+	raw := strconv.FormatInt(version, 10) + ":" + strconv.Itoa(pos)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor unpacks a page token produced by encodeCursor.
+func decodeCursor(c string) (version int64, after int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	ver, pos, ok := strings.Cut(string(raw), ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: cursor missing separator")
+	}
+	if version, err = strconv.ParseInt(ver, 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if after, err = strconv.Atoi(pos); err != nil || after < 0 {
+		return 0, 0, fmt.Errorf("serve: bad cursor position %q", pos)
+	}
+	return version, after, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -559,6 +814,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"corpus_fingerprint":      fmt.Sprintf("%016x", g.fingerprint),
 		"ranked_at":               g.rankedAt.UTC().Format(time.RFC3339),
 		"staleness_seconds":       int64(s.clock().Sub(g.rankedAt).Seconds()),
+		"max_top_k":               s.maxK,
+		"query_cache_entries":     s.cache.Len(),
+		"query_cache_hits":        s.metrics.cacheHits.Value(),
+		"query_cache_misses":      s.metrics.cacheMisses.Value(),
+		"query_shed":              s.metrics.shed.Value(),
+		"query_queue_depth":       s.limiter.QueueDepth(),
 	})
 }
 
