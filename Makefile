@@ -20,6 +20,11 @@ lint: fmt fuzz-smoke
 		echo "lint: log.Printf outside internal/obs (use obs.Logger):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rn 'context\.Background()' --include='*.go' internal/serve/ | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: context.Background() in internal/serve (handlers must inherit the request context; background work uses Tracer.BackgroundContext):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 ## fmt: fail on any file gofmt would rewrite.
 fmt:
@@ -28,11 +33,13 @@ fmt:
 		echo "fmt: files need gofmt:"; echo "$$bad"; exit 1; \
 	fi
 
-## fuzz-smoke: 10 seconds each on the TSV parser and the SCORP binary
-## reader — the two decoders that consume untrusted bytes.
+## fuzz-smoke: 10 seconds each on the decoders that consume untrusted
+## bytes — the TSV parser, the SCORP binary reader, and the W3C
+## traceparent header parser on the serving path.
 fuzz-smoke:
 	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadTSV -fuzztime 10s
 	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadSCORP -fuzztime 10s
+	$(GO) test ./internal/obs/ -run xxx -fuzz FuzzParseTraceparent -fuzztime 10s
 
 build:
 	$(GO) build ./...
@@ -69,10 +76,12 @@ bench-json:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_6.json
 	@echo "wrote BENCH_6.json"
 
-## bench-load: serving-path load benchmark into BENCH_7.json. Ranks a
+## bench-load: serving-path load benchmark into BENCH_8.json. Ranks a
 ## 100k synthetic corpus in-process and drives it with the mixed
 ## open-loop workload (cmd/loadgen), reporting QPS, per-route
-## p50/p95/p99 and the /query cache cold-vs-hot speedup.
+## p50/p95/p99, the /query cache cold-vs-hot speedup, and the
+## trace-derived server-side time split (queue wait, cache lookup,
+## index execution) aggregated from Server-Timing headers.
 bench-load:
-	$(GO) run ./cmd/loadgen -smoke -articles 100000 -duration 5s -qps 2000 -o BENCH_7.json
-	@echo "wrote BENCH_7.json"
+	$(GO) run ./cmd/loadgen -smoke -articles 100000 -duration 5s -qps 2000 -o BENCH_8.json
+	@echo "wrote BENCH_8.json"

@@ -30,6 +30,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"scholarrank/internal/obs"
 )
 
 // benchResult is one parsed benchmark line. Pointer fields distinguish
@@ -67,8 +69,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "output path (default stdout)")
+	version := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.VersionString("benchjson"))
+		return nil
 	}
 
 	var rep report

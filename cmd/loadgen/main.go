@@ -1,6 +1,6 @@
 // Command loadgen drives a sarserve instance with a mixed read
 // workload and reports throughput and tail latency. It is the
-// benchmark harness behind BENCH_7.json: an open-loop generator
+// benchmark harness behind BENCH_8.json: an open-loop generator
 // (arrivals come off a fixed-rate clock, not off completions, so
 // queueing delay shows up in the tail instead of silently throttling
 // the offered load) with zipf-distributed key popularity, the shape
@@ -20,6 +20,12 @@
 // never-seen-before queries (cold, index path) versus one repeated
 // query (hot, cache path), reporting the speedup between the two.
 //
+// Every response's Server-Timing header (emitted by sarserve's
+// tracing middleware) is parsed and aggregated, so the report also
+// carries the server-side time split — queue wait, cache lookup,
+// index execution, view building — not just client-observed wall
+// time.
+//
 // The report is JSON (see the Report type), written to -o.
 package main
 
@@ -34,12 +40,15 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scholarrank/internal/core"
 	"scholarrank/internal/gen"
+	"scholarrank/internal/obs"
 	"scholarrank/internal/serve"
 )
 
@@ -54,8 +63,14 @@ func main() {
 	flag.Float64Var(&o.Zipf, "zipf", 1.1, "key-popularity skew (larger = hotter hot keys)")
 	flag.IntVar(&o.Probes, "probes", 200, "distinct queries in the cache cold/hot probe")
 	flag.Int64Var(&o.Seed, "seed", 1, "workload random seed")
-	flag.StringVar(&o.Out, "o", "BENCH_7.json", "report output path")
+	flag.StringVar(&o.Out, "o", "BENCH_8.json", "report output path")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("loadgen"))
+		return
+	}
 
 	rep, err := run(o)
 	if err != nil {
@@ -89,7 +104,7 @@ type options struct {
 	Out      string
 }
 
-// Report is the BENCH_7.json shape.
+// Report is the BENCH_8.json shape.
 type Report struct {
 	GeneratedAt string  `json:"generated_at"`
 	Mode        string  `json:"mode"` // "smoke" or "remote"
@@ -104,6 +119,19 @@ type Report struct {
 
 	Routes map[string]RouteStats `json:"routes"`
 	Cache  CacheProbe            `json:"cache"`
+
+	// ServerTiming aggregates the server-side time split reported in
+	// each response's Server-Timing header (one entry per span name:
+	// queue, cache, index, corpus, walk, total), so the report shows
+	// where server time went, not just client-observed wall time.
+	ServerTiming map[string]TimingStat `json:"server_timing"`
+}
+
+// TimingStat aggregates one Server-Timing entry across the run.
+type TimingStat struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
 }
 
 // RouteStats summarises the latency distribution of one route.
@@ -308,6 +336,36 @@ type sample struct {
 	elapsed time.Duration
 	status  int
 	err     bool
+	timings map[string]float64 // parsed Server-Timing, ms by span name
+}
+
+// parseServerTiming extracts the per-span durations from a
+// Server-Timing header value ("queue;dur=0.05, index;dur=1.80, ...").
+// Entries without a dur parameter are skipped; nil when nothing
+// parses.
+func parseServerTiming(h string) map[string]float64 {
+	var out map[string]float64
+	for _, entry := range strings.Split(h, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), ";")
+		if !ok {
+			continue
+		}
+		for _, param := range strings.Split(rest, ";") {
+			k, v, ok := strings.Cut(strings.TrimSpace(param), "=")
+			if !ok || k != "dur" {
+				continue
+			}
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				continue
+			}
+			if out == nil {
+				out = make(map[string]float64, 8)
+			}
+			out[name] += ms
+		}
+	}
+	return out
 }
 
 // drive runs the open-loop timed phase: a fixed-rate arrival clock
@@ -330,6 +388,7 @@ func drive(client *http.Client, base string, w *workload, o options) *Report {
 					s.err = true
 				} else {
 					s.status = resp.StatusCode
+					s.timings = parseServerTiming(resp.Header.Get("Server-Timing"))
 					resp.Body.Close()
 				}
 				results <- s
@@ -364,10 +423,12 @@ func drive(client *http.Client, base string, w *workload, o options) *Report {
 	go func() { wg.Wait(); close(done) }()
 
 	byRoute := map[string][]time.Duration{}
+	timing := map[string]*TimingStat{}
 	rep := &Report{TargetQPS: o.QPS, Routes: map[string]RouteStats{}}
 	// Percentiles describe served responses only; shed (503) and
 	// errored requests are counted but excluded, so admission control
-	// firing cannot flatter the latency numbers.
+	// firing cannot flatter the latency numbers. The server-side split
+	// is aggregated over the same served responses.
 	record := func(s sample) {
 		rep.Requests++
 		switch {
@@ -379,6 +440,15 @@ func drive(client *http.Client, base string, w *workload, o options) *Report {
 			rep.Errors++
 		case s.status == http.StatusOK:
 			byRoute[s.route] = append(byRoute[s.route], s.elapsed)
+			for name, ms := range s.timings {
+				st := timing[name]
+				if st == nil {
+					st = &TimingStat{}
+					timing[name] = st
+				}
+				st.Count++
+				st.TotalMs += ms
+			}
 		}
 	}
 	start := time.Now()
@@ -412,6 +482,13 @@ collect:
 			P95ms: percentileMS(ds, 95),
 			P99ms: percentileMS(ds, 99),
 		}
+	}
+	rep.ServerTiming = make(map[string]TimingStat, len(timing))
+	for name, st := range timing {
+		if st.Count > 0 {
+			st.MeanMs = st.TotalMs / float64(st.Count)
+		}
+		rep.ServerTiming[name] = *st
 	}
 	return rep
 }

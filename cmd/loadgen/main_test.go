@@ -50,6 +50,46 @@ func TestSmokeRun(t *testing.T) {
 	if rep.Cache.Speedup <= 0 {
 		t.Errorf("cache speedup = %f", rep.Cache.Speedup)
 	}
+	// The server-side time split harvested from Server-Timing headers:
+	// every admitted request records a queue wait and a total; /query
+	// and /related traffic adds cache lookups.
+	for _, name := range []string{"queue", "cache", "total"} {
+		st, ok := rep.ServerTiming[name]
+		if !ok || st.Count == 0 {
+			t.Errorf("server timing missing %q: %+v", name, rep.ServerTiming)
+			continue
+		}
+		if st.MeanMs < 0 || st.TotalMs < st.MeanMs {
+			t.Errorf("server timing %q inconsistent: %+v", name, st)
+		}
+	}
+	if st := rep.ServerTiming["total"]; st.MeanMs <= 0 {
+		t.Errorf("total server-side mean = %f, want > 0", st.MeanMs)
+	}
+}
+
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("queue;dur=0.05, cache;dur=0.11, index;dur=1.80, total;dur=2.31")
+	want := map[string]float64{"queue": 0.05, "cache": 0.11, "index": 1.8, "total": 2.31}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+	if parseServerTiming("") != nil {
+		t.Error("empty header parsed to entries")
+	}
+	if parseServerTiming("garbage") != nil {
+		t.Error("malformed header parsed to entries")
+	}
+	// Entries with extra params and ones without dur.
+	got = parseServerTiming(`db;desc="db";dur=3.5, app;desc="x"`)
+	if got["db"] != 3.5 || len(got) != 1 {
+		t.Errorf("param handling: %v", got)
+	}
 }
 
 func TestPercentile(t *testing.T) {

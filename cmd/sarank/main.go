@@ -33,6 +33,7 @@ import (
 	"scholarrank/internal/experiments"
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/live"
+	"scholarrank/internal/obs"
 	"scholarrank/internal/rank"
 )
 
@@ -59,9 +60,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		save     = fs.String("save-scores", "", "write the QISA ranking as a snapshot file for sarserve -scores")
 		saveCorp = fs.String("save-corpus", "", "write the loaded corpus as a columnar SCORP file for sarserve -corpus")
 		trace    = fs.Bool("trace", false, "print per-iteration solver residuals for the prestige and hetero phases (QISA-Rank only)")
+		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.VersionString("sarank"))
+		return nil
 	}
 	if *in == "" {
 		fs.Usage()

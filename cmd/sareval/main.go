@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"scholarrank/internal/experiments"
+	"scholarrank/internal/obs"
 )
 
 func main() {
@@ -41,9 +42,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
 		seed    = fs.Int64("seed", 0, "seed offset for variance studies")
 		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files")
+		version = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.VersionString("sareval"))
+		return nil
 	}
 
 	opts := experiments.Options{Quick: *quick, Workers: *workers, Seed: *seed}

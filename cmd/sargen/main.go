@@ -24,6 +24,7 @@ import (
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/gen"
 	"scholarrank/internal/graph"
+	"scholarrank/internal/obs"
 )
 
 func main() {
@@ -52,9 +53,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pref      = fs.Float64("pref-attach", 1.0, "preferential attachment exponent")
 		rho       = fs.Float64("recency", 0.25, "citing recency decay per year")
 		stats     = fs.Bool("stats", false, "print corpus statistics to stderr")
+		version   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.VersionString("sargen"))
+		return nil
 	}
 
 	cfg := gen.NewDefaultConfig(*n)

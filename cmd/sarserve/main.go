@@ -26,10 +26,19 @@
 //	POST /admin/ingest            apply a JSONL delta and re-rank
 //	POST /admin/reload            drain the spool and force a re-solve
 //	GET  /admin/snapshot          download the current ranking snapshot
+//	GET  /debug/traces            recent + slowest request traces (JSON)
 //	GET  /debug/pprof/            profiling (only with -pprof)
 //
 // Every response carries an X-Request-ID header (generated when the
-// client sends none) that also appears in the per-request log lines.
+// client sends a well-formed one it is echoed; malformed or oversize
+// ids are replaced) that also appears in the per-request log lines.
+// Requests are traced end to end: an inbound W3C traceparent header
+// is adopted and the server's own span is echoed back, responses
+// carry a Server-Timing breakdown (queue wait, cache lookup, index
+// execution, ...), and with -request-log each request emits one
+// canonical wide-event line carrying the same span durations.
+// Traces whose root span meets -trace-threshold are retained in the
+// slowest-N set at /debug/traces past ring churn.
 //
 // Usage:
 //
@@ -95,9 +104,16 @@ func main() {
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		reqLog      = flag.Bool("request-log", true, "log one structured line per request")
+		reqLog      = flag.Bool("request-log", true, "log one canonical wide-event line per request")
+		traceThresh = flag.Duration("trace-threshold", 100*time.Millisecond, "root-span duration at which a request trace joins the slowest-N set on /debug/traces (negative retains every trace)")
+		version     = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString("sarserve"))
+		return
+	}
 
 	level, err := parseLevel(*logLevel)
 	if err != nil {
@@ -153,6 +169,7 @@ func main() {
 		CacheEntries:      *cacheSize,
 		RequestLog:        *reqLog,
 		EnablePprof:       *pprofFlag,
+		TraceThreshold:    *traceThresh,
 		CorpusLoadSeconds: loadElapsed.Seconds(),
 	}
 

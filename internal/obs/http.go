@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"log/slog"
 	"net/http"
 	"time"
 )
@@ -127,38 +126,42 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// RequestID propagates X-Request-ID: an incoming id is kept, a
-// missing one generated; either way the id is echoed on the response
-// and stored in the request context for handlers and request logs.
+// maxRequestIDLen caps an echoed client request id. Long enough for
+// a UUID or a proxy's composite id, short enough that a hostile
+// client cannot inflate every log line.
+const maxRequestIDLen = 64
+
+// sanitizeRequestID validates a client-supplied request id before it
+// is echoed into response headers and log records. Anything over the
+// length cap or outside [A-Za-z0-9._-] is rejected (returns ""), so a
+// client cannot inject header or log-line structure — newlines,
+// quotes, spaces, key=value separators — through the id.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// RequestID propagates X-Request-ID: a well-formed incoming id (see
+// sanitizeRequestID) is kept, a missing or malformed one replaced by
+// a generated id; either way the id is echoed on the response and
+// stored in the request context for handlers and request logs.
 func RequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(RequestIDHeader)
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
 		if id == "" {
 			id = newRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
-	})
-}
-
-// AccessLog emits one structured line per request: method, path,
-// status, bytes, duration and the correlation id (run it inside
-// RequestID so the id is populated).
-func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
-		next.ServeHTTP(sw, r)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		logger.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"bytes", sw.bytes,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
-			"request_id", RequestIDFrom(r.Context()),
-		)
 	})
 }

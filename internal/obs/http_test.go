@@ -127,19 +127,42 @@ func TestRequestIDEchoed(t *testing.T) {
 	}
 }
 
-func TestAccessLogIncludesRequestID(t *testing.T) {
-	var buf bytes.Buffer
-	logger := slog.New(slog.NewTextHandler(&buf, nil))
-	h := RequestID(AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusTeapot)
-	})))
-	req := httptest.NewRequest("GET", "/brew", nil)
-	req.Header.Set(RequestIDHeader, "rid-42")
-	h.ServeHTTP(httptest.NewRecorder(), req)
-	line := buf.String()
-	for _, want := range []string{"request_id=rid-42", "status=418", "path=/brew", "method=GET"} {
-		if !strings.Contains(line, want) {
-			t.Errorf("access log missing %q: %s", want, line)
+// TestRequestIDSanitized checks hostile client ids are replaced by a
+// generated id instead of echoed into headers and logs: log-injection
+// payloads (newlines, key=value structure), oversize ids, and
+// non-token characters all fail the gate; benign ids pass.
+func TestRequestIDSanitized(t *testing.T) {
+	hostile := []string{
+		"evil\nstatus=200",      // log-line injection
+		"a b",                   // whitespace
+		`x"quote`,               // breaks quoted log formats
+		"id=1 level=ERROR",      // key=value spoofing
+		strings.Repeat("a", 65), // over the length cap
+		"\x00binary",            // control bytes
+		"ünïcode",               // non-ASCII
+	}
+	for _, id := range hostile {
+		h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(RequestIDHeader, id)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		got := rec.Header().Get(RequestIDHeader)
+		if got == id {
+			t.Errorf("hostile id %q echoed verbatim", id)
+		}
+		if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+			t.Errorf("hostile id %q not replaced by a generated id (got %q)", id, got)
+		}
+	}
+	for _, id := range []string{"rid-42", "a.b_c-D", strings.Repeat("a", 64)} {
+		h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set(RequestIDHeader, id)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := rec.Header().Get(RequestIDHeader); got != id {
+			t.Errorf("benign id %q rewritten to %q", id, got)
 		}
 	}
 }

@@ -116,6 +116,16 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// HistogramSnapshot is one scrape of a callback histogram: per-bucket
+// (non-cumulative) counts for the finite upper Bounds plus a final
+// +Inf bucket, and the sum of observations (estimated sums are fine —
+// runtime/metrics histograms don't expose an exact one).
+type HistogramSnapshot struct {
+	Bounds []float64 // strictly increasing finite upper bounds
+	Counts []uint64  // len(Bounds)+1; last entry is the +Inf bucket
+	Sum    float64
+}
+
 // series is one labelled time series inside a family.
 type series struct {
 	labels string // rendered {k="v",...} or ""
@@ -123,6 +133,7 @@ type series struct {
 	g      *Gauge
 	fn     func() float64
 	h      *Histogram
+	hfn    func() HistogramSnapshot
 }
 
 // family groups every series sharing a metric name.
@@ -241,6 +252,17 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	return s.h
 }
 
+// HistogramFunc registers a histogram whose buckets are computed by
+// fn at scrape time — the shape of runtime/metrics telemetry, where
+// the runtime owns the counts and a scrape converts one snapshot.
+// Re-registering the same series replaces the callback.
+func (r *Registry) HistogramFunc(name, help string, labels Labels, fn func() HistogramSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, typeHistogram).getSeries(labels)
+	s.hfn = fn
+}
+
 // renderLabels renders a label set as {k="v",...} with keys sorted,
 // or "" for no labels.
 func renderLabels(labels Labels) string {
@@ -324,8 +346,37 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		return err
 	case s.h != nil:
 		return writeHistogram(w, f.name, s)
+	case s.hfn != nil:
+		return writeHistogramSnapshot(w, f.name, s, s.hfn())
 	}
 	return nil
+}
+
+// writeHistogramSnapshot renders one callback-histogram scrape in the
+// same cumulative _bucket/_sum/_count shape as writeHistogram.
+func writeHistogramSnapshot(w io.Writer, name string, s *series, snap HistogramSnapshot) error {
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		if i < len(snap.Counts) {
+			cum += snap.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, spliceLabel(s.labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	if len(snap.Counts) > len(snap.Bounds) {
+		cum += snap.Counts[len(snap.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, spliceLabel(s.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, cum)
+	return err
 }
 
 // writeHistogram renders the cumulative _bucket series plus _sum and

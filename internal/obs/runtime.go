@@ -1,0 +1,220 @@
+// Go runtime telemetry: a runtime/metrics-backed collector exposing
+// GC pause and scheduler-latency histograms, live heap bytes and the
+// goroutine count as scrape-time families, plus build identity
+// (build_info, process_start_time_seconds). Everything is read lazily
+// at scrape time — an idle process pays nothing — with one
+// metrics.Read shared by all families per scrape.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Runtime metric family names.
+const (
+	MetricGoroutines  = "go_goroutines"
+	MetricHeapLive    = "go_heap_live_bytes"
+	MetricGCPauses    = "go_gc_pauses_seconds"
+	MetricSchedLat    = "go_sched_latencies_seconds"
+	MetricBuildInfo   = "build_info"
+	MetricProcessTime = "process_start_time_seconds"
+)
+
+// runtime/metrics sample names the collector reads.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapLive   = "/gc/heap/live:bytes"
+	sampleGCPauses   = "/sched/pauses/total/gc:seconds"
+	sampleSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeBounds are the upper bucket bounds the native runtime
+// histograms are folded into: sub-microsecond GC assists through
+// full-second stop-the-world outliers, few enough buckets that the
+// exposition stays scrape-friendly.
+var runtimeBounds = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// processStart approximates process start: package initialisation
+// time, well before any server accepts traffic.
+var processStart = time.Now()
+
+// RuntimeCollector samples runtime/metrics on demand. One Read
+// serves every family of a scrape; a short staleness window keeps a
+// multi-family scrape from re-reading per series.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	idx     map[string]int
+	last    time.Time
+}
+
+// runtimeStaleness is how long one metrics.Read stays fresh. Scrapes
+// render several runtime families back to back; anything under a
+// typical scrape interval works.
+const runtimeStaleness = 250 * time.Millisecond
+
+func newRuntimeCollector() *RuntimeCollector {
+	names := []string{sampleGoroutines, sampleHeapLive, sampleGCPauses, sampleSchedLat}
+	c := &RuntimeCollector{
+		samples: make([]metrics.Sample, len(names)),
+		idx:     make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		c.samples[i].Name = n
+		c.idx[n] = i
+	}
+	metrics.Read(c.samples)
+	c.last = time.Now()
+	return c
+}
+
+// refresh re-reads the samples when the cached ones are stale.
+// Callers must hold c.mu.
+func (c *RuntimeCollector) refresh() {
+	if time.Since(c.last) < runtimeStaleness {
+		return
+	}
+	metrics.Read(c.samples)
+	c.last = time.Now()
+}
+
+// uint64Value returns a sample's value as a float, 0 when the
+// runtime doesn't provide the metric.
+func (c *RuntimeCollector) uint64Value(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refresh()
+	s := c.samples[c.idx[name]]
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s.Value.Uint64())
+}
+
+// Goroutines returns the live goroutine count.
+func (c *RuntimeCollector) Goroutines() float64 { return c.uint64Value(sampleGoroutines) }
+
+// HeapLiveBytes returns the bytes of heap memory occupied by live
+// objects after the last GC.
+func (c *RuntimeCollector) HeapLiveBytes() float64 { return c.uint64Value(sampleHeapLive) }
+
+// histogram folds a native runtime histogram into runtimeBounds.
+func (c *RuntimeCollector) histogram(name string) HistogramSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refresh()
+	snap := HistogramSnapshot{
+		Bounds: runtimeBounds,
+		Counts: make([]uint64, len(runtimeBounds)+1),
+	}
+	s := c.samples[c.idx[name]]
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return snap
+	}
+	h := s.Value.Float64Histogram()
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		// Fold the native bucket into the first bound that contains its
+		// upper edge, so the rebucketed cumulative counts never
+		// under-report a latency.
+		j := sort.SearchFloat64s(runtimeBounds, hi)
+		snap.Counts[j] += count
+		// The native sum is not exposed; estimate it from bucket
+		// midpoints (edge buckets use their finite edge).
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		} else if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		snap.Sum += float64(count) * mid
+	}
+	return snap
+}
+
+// RegisterRuntime registers the Go runtime telemetry families on reg
+// and returns the collector, whose accessors also back the /stats
+// surface. Safe to call more than once per registry (callbacks are
+// replaced).
+func RegisterRuntime(reg *Registry) *RuntimeCollector {
+	c := newRuntimeCollector()
+	reg.GaugeFunc(MetricGoroutines, "Goroutines that currently exist.", nil, c.Goroutines)
+	reg.GaugeFunc(MetricHeapLive, "Heap memory occupied by live objects after the last GC, in bytes.", nil, c.HeapLiveBytes)
+	reg.HistogramFunc(MetricGCPauses, "Stop-the-world GC pause latencies, in seconds.", nil,
+		func() HistogramSnapshot { return c.histogram(sampleGCPauses) })
+	reg.HistogramFunc(MetricSchedLat, "Time goroutines spend runnable before running, in seconds.", nil,
+		func() HistogramSnapshot { return c.histogram(sampleSchedLat) })
+	return c
+}
+
+// Build identifies the running binary.
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS revision (12 hex chars, "-dirty" suffix on
+	// modified trees) or "unknown" outside a VCS build.
+	Revision string
+}
+
+// ReadBuild extracts the build identity from the binary's embedded
+// build information.
+func ReadBuild() Build {
+	b := Build{GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.GoVersion != "" {
+		b.GoVersion = bi.GoVersion
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		b.Revision = rev
+	}
+	return b
+}
+
+// VersionString renders the one-line -version output of a tool.
+func VersionString(tool string) string {
+	b := ReadBuild()
+	return fmt.Sprintf("%s %s (%s)", tool, b.Revision, b.GoVersion)
+}
+
+// RegisterBuildInfo registers build_info{go_version,revision} (a
+// constant 1, the conventional shape for identity metrics — joins,
+// not arithmetic) and process_start_time_seconds on reg.
+func RegisterBuildInfo(reg *Registry) {
+	b := ReadBuild()
+	reg.Gauge(MetricBuildInfo, "Build identity of the running binary; constant 1.",
+		Labels{"go_version": b.GoVersion, "revision": b.Revision}).Set(1)
+	reg.GaugeFunc(MetricProcessTime, "Unix time the process started, in seconds.", nil,
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+}

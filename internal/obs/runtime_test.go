@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeFamilies(t *testing.T) {
+	// One forced GC up front guarantees a pause in the histogram and a
+	// non-zero /gc/heap/live sample (it is only updated at GC).
+	runtime.GC()
+	reg := NewRegistry()
+	c := RegisterRuntime(reg)
+	if c.Goroutines() <= 0 {
+		t.Errorf("goroutines = %v", c.Goroutines())
+	}
+	if c.HeapLiveBytes() <= 0 {
+		t.Errorf("heap live = %v", c.HeapLiveBytes())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_live_bytes gauge",
+		"# TYPE go_gc_pauses_seconds histogram",
+		"# TYPE go_sched_latencies_seconds histogram",
+		`go_gc_pauses_seconds_bucket{le="+Inf"}`,
+		"go_gc_pauses_seconds_sum",
+		"go_gc_pauses_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRuntimeHistogramMonotonic(t *testing.T) {
+	c := newRuntimeCollector()
+	runtime.GC()
+	c.last = c.last.Add(-runtimeStaleness) // force a refresh
+	snap := c.histogram(sampleGCPauses)
+	if len(snap.Counts) != len(snap.Bounds)+1 {
+		t.Fatalf("counts len %d, bounds len %d", len(snap.Counts), len(snap.Bounds))
+	}
+	var total uint64
+	for _, n := range snap.Counts {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no GC pauses recorded after runtime.GC()")
+	}
+	if snap.Sum < 0 {
+		t.Errorf("negative sum %v", snap.Sum)
+	}
+}
+
+func TestReadBuild(t *testing.T) {
+	b := ReadBuild()
+	if b.GoVersion == "" || b.Revision == "" {
+		t.Errorf("build = %+v", b)
+	}
+	v := VersionString("sartool")
+	if !strings.HasPrefix(v, "sartool ") || !strings.Contains(v, b.GoVersion) {
+		t.Errorf("version string = %q", v)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE build_info gauge") ||
+		!strings.Contains(out, `go_version="`) {
+		t.Errorf("build_info missing:\n%s", out)
+	}
+	if !strings.Contains(out, "process_start_time_seconds") {
+		t.Errorf("process_start_time_seconds missing:\n%s", out)
+	}
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	cases := []struct {
+		in      string
+		sampled bool
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", false},
+		// Unknown future version with trailing fields is accepted.
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra-stuff", true},
+	}
+	for _, c := range cases {
+		sc, err := ParseTraceparent(c.in)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q) error: %v", c.in, err)
+			continue
+		}
+		if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("trace id = %s", sc.TraceID)
+		}
+		if sc.SpanID.String() != "00f067aa0ba902b7" {
+			t.Errorf("span id = %s", sc.SpanID)
+		}
+		if sc.Sampled != c.sampled {
+			t.Errorf("sampled(%q) = %v", c.in, sc.Sampled)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":                "",
+		"not a traceparent":    "hello",
+		"short version":        "0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase version":    "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"forbidden version ff": "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"short trace id":       "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",
+		"long trace id":        "00-4bf92f3577b34da6a3ce929d0e0e473600-00f067aa0ba902b7-01",
+		"uppercase trace id":   "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"all-zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"short parent id":      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",
+		"all-zero parent id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"non-hex flags":        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+		"missing flags":        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"v00 trailing fields":  "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"v00 trailing garbage": "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+		"wrong separator":      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for name, in := range cases {
+		if sc, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted: %+v", name, in, sc)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Traceparent(); got != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+// FuzzParseTraceparent checks the parser never panics and that every
+// accepted value re-renders to a parseable version-00 header with the
+// same ids (ids survive the round trip even when the input used a
+// future version).
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-more")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add(strings.Repeat("-", 60))
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, err := ParseTraceparent(in)
+		if err != nil {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted invalid context from %q: %+v", in, sc)
+		}
+		back, err := ParseTraceparent(sc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-render of %q unparseable: %v", in, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip changed %+v to %+v", sc, back)
+		}
+	})
+}
+
+func TestSpanTreeRecorded(t *testing.T) {
+	tr := NewTracer(8, 4, 0)
+	ctx, root := tr.StartRoot(context.Background(), "/query", SpanContext{})
+	cctx, child := StartSpan(ctx, "cache", Attr{Key: "hit", Value: false})
+	_, grand := StartSpan(cctx, "lookup")
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx, "index")
+	sib.SetAttr("results", 7)
+	sib.End()
+	root.End()
+
+	trace := root.Trace()
+	if trace == nil {
+		t.Fatal("no trace after root End")
+	}
+	if trace.Root.Name != "/query" || trace.Root.SpanID == "" {
+		t.Errorf("root = %+v", trace.Root)
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("got %d child spans, want 3", len(trace.Spans))
+	}
+	if trace.Find("cache") == nil || trace.Find("index") == nil || trace.Find("lookup") == nil {
+		t.Errorf("span names = %+v", trace.Spans)
+	}
+	if trace.Find("lookup").ParentID != trace.Find("cache").SpanID {
+		t.Errorf("grandchild parent = %q, want cache span %q",
+			trace.Find("lookup").ParentID, trace.Find("cache").SpanID)
+	}
+	if trace.Find("index").ParentID != trace.Root.SpanID {
+		t.Errorf("sibling parent = %q, want root %q", trace.Find("index").ParentID, trace.Root.SpanID)
+	}
+	if hit, ok := trace.Find("cache").Attrs["hit"].(bool); !ok || hit {
+		t.Errorf("cache attrs = %+v", trace.Find("cache").Attrs)
+	}
+	if got := len(tr.Recent()); got != 1 {
+		t.Errorf("tracer recent = %d", got)
+	}
+}
+
+func TestStartSpanNoTraceIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatalf("span outside a trace = %+v", sp)
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if sp.Traceparent() != "" || sp.ServerTiming() != "" {
+		t.Error("no-op span rendered output")
+	}
+	_ = ctx
+}
+
+func TestStartSpanBackgroundRoot(t *testing.T) {
+	tr := NewTracer(4, 2, 0)
+	ctx, sp := StartSpan(tr.BackgroundContext(), "spool.refresh")
+	if sp == nil {
+		t.Fatal("background span not created")
+	}
+	_, child := StartSpan(ctx, "solve")
+	child.End()
+	sp.End()
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Root.Name != "spool.refresh" || len(recent[0].Spans) != 1 {
+		t.Fatalf("background trace = %+v", recent)
+	}
+}
+
+func TestRingOverwriteAndSlowestRetention(t *testing.T) {
+	tr := NewTracer(4, 2, 10*time.Millisecond)
+	slow := func(name string, d time.Duration) {
+		_, sp := tr.StartRoot(context.Background(), name, SpanContext{})
+		sp.start = sp.start.Add(-d) // backdate instead of sleeping
+		sp.End()
+	}
+	for i := 0; i < 6; i++ {
+		slow("fast", 0)
+	}
+	slow("slow-a", 50*time.Millisecond)
+	slow("slow-b", 200*time.Millisecond)
+	slow("slow-c", 100*time.Millisecond)
+
+	if got := tr.Count(); got != 9 {
+		t.Errorf("count = %d", got)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if recent[0].Root.Name != "slow-c" {
+		t.Errorf("newest = %q", recent[0].Root.Name)
+	}
+	// Slowest-N keeps the two slowest above threshold even though the
+	// ring would have churned them; fast traces never qualify.
+	slowest := tr.Slowest()
+	if len(slowest) != 2 {
+		t.Fatalf("slowest holds %d, want 2", len(slowest))
+	}
+	if slowest[0].Root.Name != "slow-b" || slowest[1].Root.Name != "slow-c" {
+		t.Errorf("slowest = %q, %q", slowest[0].Root.Name, slowest[1].Root.Name)
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(4, 2, 0)
+	_, sp := tr.StartRoot(context.Background(), "/top", SpanContext{})
+	sp.End()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var out struct {
+		RingSize int      `json:"ring_size"`
+		Recorded uint64   `json:"traces_recorded"`
+		Recent   []*Trace `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("traces endpoint not JSON: %v\n%s", err, rec.Body)
+	}
+	if out.RingSize != 4 || out.Recorded != 1 || len(out.Recent) != 1 {
+		t.Errorf("payload = %+v", out)
+	}
+}
+
+// TestMiddlewarePropagation is the round-trip test: an inbound
+// traceparent's trace id is adopted, the response carries the
+// server's own span in the same trace, and the recorded trace marks
+// the remote parent.
+func TestMiddlewarePropagation(t *testing.T) {
+	tr := NewTracer(8, 4, 0)
+	h := RequestID(tr.Middleware(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sp := StartSpan(r.Context(), "work")
+		sp.End()
+		w.Write([]byte("ok"))
+	})))
+
+	req := httptest.NewRequest("GET", "/query", nil)
+	req.Header.Set(TraceparentHeader, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	out, err := ParseTraceparent(rec.Header().Get(TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+	if out.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("response trace id = %s, want the inbound one", out.TraceID)
+	}
+	if out.SpanID.String() == "00f067aa0ba902b7" {
+		t.Error("response span id must be the server's span, not the caller's")
+	}
+	if st := rec.Header().Get("Server-Timing"); !strings.Contains(st, "work;dur=") ||
+		!strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing = %q", st)
+	}
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recorded %d traces", len(recent))
+	}
+	trace := recent[0]
+	if trace.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || !trace.RemoteParent {
+		t.Errorf("trace = id %s remote %v", trace.TraceID, trace.RemoteParent)
+	}
+	if trace.Root.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("root parent = %q, want the caller's span", trace.Root.ParentID)
+	}
+	if trace.Find("work") == nil {
+		t.Errorf("child span missing: %+v", trace.Spans)
+	}
+
+	// A malformed inbound header starts a fresh trace instead of
+	// failing the request.
+	req = httptest.NewRequest("GET", "/query", nil)
+	req.Header.Set(TraceparentHeader, "00-zzzz-bad-01")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("malformed traceparent broke the request: %d", rec.Code)
+	}
+	if fresh, err := ParseTraceparent(rec.Header().Get(TraceparentHeader)); err != nil || fresh.TraceID.IsZero() {
+		t.Errorf("fresh trace id not issued: %v", err)
+	}
+}
+
+// TestMiddlewareWideEvent checks the canonical per-request record:
+// one line carrying method, route, status, size, correlation ids and
+// the per-span breakdown.
+func TestMiddlewareWideEvent(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(8, 4, 0)
+	h := RequestID(tr.Middleware(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sp := StartSpan(r.Context(), "cache")
+		sp.SetAttr("hit", false)
+		sp.End()
+		_, sp = StartSpan(r.Context(), "index")
+		sp.End()
+		w.Header().Set("X-Ranking-Version", "3")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("payload"))
+	})))
+	req := httptest.NewRequest("GET", "/query", nil)
+	req.Header.Set(RequestIDHeader, "rid-7")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one wide event, got: %q", line)
+	}
+	for _, want := range []string{
+		"method=GET", "route=/query", "status=200", "bytes=7",
+		"request_id=rid-7", "trace_id=", "duration_ms=",
+		"ranking_version=3", "cache=miss", "spans.cache=", "spans.index=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("wide event missing %q: %s", want, line)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"scholarrank/internal/corpus"
 	"scholarrank/internal/hetnet"
 	"scholarrank/internal/live"
+	"scholarrank/internal/obs"
 	"scholarrank/internal/query"
 	"scholarrank/internal/rank"
 )
@@ -159,12 +161,19 @@ func (g *generation) snapshot() *live.Snapshot {
 // current scores, and atomically swaps the new generation in. An
 // empty delta (everything already known) swaps nothing and leaves the
 // version unchanged.
-func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
+// The context carries the caller's trace (the /admin/ingest request
+// span, or a background root), so the delta apply and the rebuild's
+// solver phases land as child spans of whatever triggered them.
+func (s *Server) Ingest(ctx context.Context, r io.Reader) (live.DeltaStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev := s.gen.Load()
 	b := prev.store.Thaw()
+	_, span := obs.StartSpan(ctx, "ingest.apply")
 	stats, err := live.ApplyDelta(b, r)
+	span.SetAttr("new_articles", stats.NewArticles)
+	span.SetAttr("new_citations", stats.NewCitations)
+	span.End()
 	if err != nil {
 		return stats, err
 	}
@@ -172,13 +181,13 @@ func (s *Server) Ingest(r io.Reader) (live.DeltaStats, error) {
 		return stats, nil
 	}
 	s.metrics.ingestApplied.Inc()
-	return stats, s.rebuildLocked(b.Freeze(), "ingest")
+	return stats, s.rebuildLocked(ctx, b.Freeze(), "ingest")
 }
 
 // Reload drains any pending spool deltas and re-solves the ranking
 // even when nothing changed — the operator's "refresh now" lever. It
 // reports the cumulative delta stats of the drained files.
-func (s *Server) Reload() (live.DeltaStats, error) {
+func (s *Server) Reload(ctx context.Context) (live.DeltaStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	stats, store, err := s.drainSpoolLocked(0)
@@ -188,7 +197,7 @@ func (s *Server) Reload() (live.DeltaStats, error) {
 	if store == nil {
 		store = s.gen.Load().store
 	}
-	return stats, s.rebuildLocked(store, "reload")
+	return stats, s.rebuildLocked(ctx, store, "reload")
 }
 
 // rebuildLocked re-ranks store and swaps the resulting generation in.
@@ -196,27 +205,35 @@ func (s *Server) Reload() (live.DeltaStats, error) {
 // vectors (extended to the grown corpus), and the network build reuses
 // the previous bipartite layers when the delta was citation-only.
 // Callers must hold s.mu.
-func (s *Server) rebuildLocked(store *corpus.Store, source string) error {
+func (s *Server) rebuildLocked(ctx context.Context, store *corpus.Store, source string) error {
 	prev := s.gen.Load()
 	net := hetnet.Grow(prev.net, store)
 	eng := core.NewEngine(net)
 	opts := s.cfg.Options
 	opts.InitialScores = core.FromScores(prev.scores, store.NumArticles())
+	sctx, solveSpan := obs.StartSpan(ctx, "solve", obs.Attr{Key: "source", Value: source})
+	opts, finish := solverSpans(sctx, opts)
 	scores, err := eng.Rank(opts)
+	finish()
+	solveSpan.End()
 	if err != nil {
 		eng.Close()
 		return fmt.Errorf("serve: re-rank: %w", err)
 	}
+	_, span := obs.StartSpan(ctx, "generation.build")
 	gen, err := newGeneration(store, net, scores, prev.version+1, source, s.clock())
+	span.End()
 	if err != nil {
 		eng.Close()
 		return err
 	}
+	_, span = obs.StartSpan(ctx, "swap", obs.Attr{Key: "version", Value: gen.version})
 	s.gen.Store(gen)
 	// Retire the old generation: readers that already acquired it keep
 	// it (and its mapping) alive until their release; new readers load
 	// the fresh pointer.
 	prev.release()
+	span.End()
 	if s.engine != nil {
 		s.engine.Close()
 	}
@@ -325,7 +342,12 @@ func (s *Server) refreshOnce(debounce time.Duration) {
 	if store == nil {
 		return
 	}
-	if err := s.rebuildLocked(store, "ingest"); err != nil {
+	// Only sweeps that ingested something get a trace; an idle poll
+	// every few seconds would otherwise churn the ring with no-ops.
+	ctx, span := obs.StartSpan(s.bg, "spool.refresh")
+	err = s.rebuildLocked(ctx, store, "ingest")
+	span.End()
+	if err != nil {
 		s.log.Error("spool refresh re-rank failed", "spool", s.cfg.SpoolDir, "error", err)
 		return
 	}

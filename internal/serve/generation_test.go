@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -185,7 +186,7 @@ func TestAdminSnapshotBootstrap(t *testing.T) {
 	}
 
 	// A replica can take live updates too: its engine starts lazily.
-	if _, err := replica.Ingest(strings.NewReader(`{"id":"r1","year":2016,"refs":["a"]}`)); err != nil {
+	if _, err := replica.Ingest(context.Background(), strings.NewReader(`{"id":"r1","year":2016,"refs":["a"]}`)); err != nil {
 		t.Fatal(err)
 	}
 	if replica.Version() != 2 {
@@ -262,7 +263,7 @@ func TestConcurrentHotSwap(t *testing.T) {
 
 	for i := 0; i < swaps; i++ {
 		delta := fmt.Sprintf(`{"id":"w%d","year":2016,"refs":["a","b"]}`, i)
-		if _, err := srv.Ingest(strings.NewReader(delta)); err != nil {
+		if _, err := srv.Ingest(context.Background(), strings.NewReader(delta)); err != nil {
 			t.Fatalf("swap %d: %v", i, err)
 		}
 	}

@@ -45,6 +45,11 @@ type serveMetrics struct {
 	reg  *obs.Registry
 	http *obs.HTTPMetrics
 
+	// runtime backs the go_* families on /metrics and the runtime keys
+	// on /stats; build is the binary identity behind build_info.
+	runtime *obs.RuntimeCollector
+	build   obs.Build
+
 	warmSaved         *obs.Counter
 	extrapolations    *obs.Counter
 	ingestApplied     *obs.Counter
@@ -68,9 +73,12 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	for _, source := range []string{"ingest", "reload"} {
 		reg.Counter(metricSwaps, "Generation hot-swaps by source.", obs.Labels{"source": source})
 	}
+	obs.RegisterBuildInfo(reg)
 	return &serveMetrics{
-		reg:  reg,
-		http: obs.NewHTTPMetrics(reg),
+		reg:     reg,
+		http:    obs.NewHTTPMetrics(reg),
+		runtime: obs.RegisterRuntime(reg),
+		build:   obs.ReadBuild(),
 		warmSaved: reg.Counter(metricWarmSaved,
 			"Solver iterations avoided by warm-starting re-solves, versus the previous generation's solve.", nil),
 		extrapolations: reg.Counter(metricExtrapolations,

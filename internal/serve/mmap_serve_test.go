@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"path/filepath"
@@ -92,7 +93,7 @@ func TestServeFromMappedCorpus(t *testing.T) {
 	// After an ingest the serving store is a re-frozen heap copy; the
 	// load-mode gauge must follow the generation.
 	req := strings.NewReader(`{"id":"new1","year":2016,"refs":["a"]}`)
-	if _, err := srv.Ingest(req); err != nil {
+	if _, err := srv.Ingest(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	metrics = get(t, h, "/metrics").Body.String()
@@ -151,7 +152,7 @@ func TestMappedCloseDuringHotSwap(t *testing.T) {
 	// mapping's fate is decided entirely by reader refcounts.
 	for i := 0; i < 5; i++ {
 		delta := fmt.Sprintf(`{"id":"new%d","year":2016,"refs":["a"]}`, i)
-		if _, err := srv.Ingest(strings.NewReader(delta)); err != nil {
+		if _, err := srv.Ingest(context.Background(), strings.NewReader(delta)); err != nil {
 			t.Fatal(err)
 		}
 		if i == 0 {

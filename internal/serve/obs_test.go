@@ -56,6 +56,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sarserve_query_cache_hits_total 0",
 		"sarserve_query_cache_misses_total 0",
 		"sarserve_query_cache_entries 0",
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_live_bytes gauge",
+		"# TYPE go_gc_pauses_seconds histogram",
+		`go_gc_pauses_seconds_bucket{le="+Inf"}`,
+		"# TYPE go_sched_latencies_seconds histogram",
+		"# TYPE build_info gauge",
+		`go_version="`,
+		"# TYPE process_start_time_seconds gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)

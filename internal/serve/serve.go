@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -47,6 +48,11 @@ const defaultQueueTimeout = 100 * time.Millisecond
 
 // maxIngestBytes bounds one /admin/ingest delta body (64 MiB).
 const maxIngestBytes = 64 << 20
+
+// defaultTraceThreshold is the root-span duration at which a trace
+// joins the slowest-N retained set, when Config.TraceThreshold is
+// zero.
+const defaultTraceThreshold = 100 * time.Millisecond
 
 // Config tunes a live ranking server beyond the core solver options.
 type Config struct {
@@ -83,6 +89,18 @@ type Config struct {
 	// bytes). Zero selects the default (4096); negative disables the
 	// cache.
 	CacheEntries int
+
+	// TraceRing bounds the in-memory ring of recently completed request
+	// traces behind GET /debug/traces. Zero selects the obs default
+	// (256).
+	TraceRing int
+	// TraceSlowest bounds how many slow traces are retained past ring
+	// churn. Zero selects the obs default (32).
+	TraceSlowest int
+	// TraceThreshold is the root-span duration at which a trace
+	// qualifies for the slowest-N set. Zero selects the default
+	// (100ms); negative considers every trace.
+	TraceThreshold time.Duration
 
 	// CorpusLoadSeconds records how long the boot corpus took to load
 	// from disk (set by the sarserve command); it is reported on
@@ -124,6 +142,12 @@ type Server struct {
 	cache   *query.Cache
 	limiter *query.Limiter
 
+	// tracer collects completed request and background-operation
+	// traces; bg is the tracer-carrying root context for daemon work
+	// (boot solve, spool refresher) that has no inbound request.
+	tracer *obs.Tracer
+	bg     context.Context
+
 	// gen is the serving state: swapped atomically, never mutated.
 	gen atomic.Pointer[generation]
 
@@ -150,7 +174,11 @@ func NewWithConfig(store *corpus.Store, cfg Config) (*Server, error) {
 	s := newServerShell(cfg)
 	net := hetnet.Build(store)
 	eng := core.NewEngine(net)
-	scores, err := eng.Rank(cfg.Options)
+	ctx, span := obs.StartSpan(s.bg, "boot.solve")
+	opts, finish := solverSpans(ctx, cfg.Options)
+	scores, err := eng.Rank(opts)
+	finish()
+	span.End()
 	if err != nil {
 		eng.Close()
 		return nil, fmt.Errorf("serve: rank: %w", err)
@@ -231,6 +259,14 @@ func newServerShell(cfg Config) *Server {
 		timeout = defaultQueueTimeout
 	}
 	s.limiter = query.NewLimiter(cfg.MaxInflight, timeout)
+	threshold := cfg.TraceThreshold
+	if threshold == 0 {
+		threshold = defaultTraceThreshold
+	} else if threshold < 0 {
+		threshold = 0
+	}
+	s.tracer = obs.NewTracer(cfg.TraceRing, cfg.TraceSlowest, threshold)
+	s.bg = s.tracer.BackgroundContext()
 	s.metrics.observeServer(s)
 	return s
 }
@@ -337,15 +373,23 @@ func (s *Server) Handler() http.Handler {
 	route("POST /admin/reload", "/admin/reload", s.handleReload)
 	route("GET /admin/snapshot", "/admin/snapshot", s.handleSnapshot)
 	mux.Handle("GET /metrics", s.metrics.http.Wrap("/metrics", s.metrics.reg.Handler()))
+	mux.Handle("GET /debug/traces", s.metrics.http.Wrap("/debug/traces", s.tracer.Handler()))
 	if s.cfg.EnablePprof {
 		obs.MountPprof(mux)
 	}
-	var h http.Handler = mux
+	// Every request runs under a root span (inbound traceparent
+	// adopted, Server-Timing emitted); with RequestLog the middleware
+	// additionally logs one canonical wide event per request.
+	var wide *slog.Logger
 	if s.cfg.RequestLog {
-		h = obs.AccessLog(s.log, h)
+		wide = s.log
 	}
-	return obs.RequestID(h)
+	return obs.RequestID(s.tracer.Middleware(wide, mux))
 }
+
+// Tracer exposes the server's trace collector, for commands that want
+// to trace work (e.g. snapshot writes) outside the HTTP surface.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // read adapts a generation-scoped read handler: it pins the serving
 // generation for the request's lifetime, stamps the ranking version
@@ -387,17 +431,28 @@ func etagMatch(header, etag string) bool {
 // the in-flight limit queue briefly; when the queue wait times out
 // (or the client gives up) the request is shed with 503 and a
 // Retry-After hint instead of joining an unbounded backlog.
+// A queue span records the admission wait on every read request —
+// zero-length without a limiter — so the request's Server-Timing and
+// trace always decompose into queue + work. The span's derived
+// context is deliberately not propagated: later spans (cache, index)
+// are siblings of queue under the root, not children of it.
 func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
-	if s.limiter == nil {
-		return next
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
+		_, span := obs.StartSpan(r.Context(), "queue")
+		if s.limiter == nil {
+			span.End()
+			next(w, r)
+			return
+		}
 		if !s.limiter.Acquire(r.Context()) {
+			span.SetAttr("shed", true)
+			span.End()
 			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "overloaded, retry later")
 			return
 		}
+		span.End()
 		defer s.limiter.Release()
 		next(w, r)
 	}
@@ -422,7 +477,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleIngest accepts a JSONL delta batch, folds it into the corpus
 // and swaps in the re-ranked generation before responding.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	stats, err := s.Ingest(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	stats, err := s.Ingest(r.Context(), http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
@@ -442,8 +497,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReload drains the spool and forces a re-solve.
-func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
-	stats, err := s.Reload()
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.Reload(r.Context())
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "reload: %v", err)
 		return
@@ -461,13 +516,16 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 
 // handleSnapshot streams the current ranking as a checksummed binary
 // snapshot — the artifact a fresh replica boots from with -scores.
-func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	g := s.current(w)
 	defer g.release()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=ranking-v%d.snap", g.version))
-	if err := live.WriteSnapshot(w, g.snapshot()); err != nil {
+	_, span := obs.StartSpan(r.Context(), "snapshot", obs.Attr{Key: "version", Value: g.version})
+	err := live.WriteSnapshot(w, g.snapshot())
+	span.End()
+	if err != nil {
 		s.log.Error("write snapshot", "version", g.version, "error", err)
 	}
 }
@@ -493,18 +551,23 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request, g *genera
 	// by far the dearest read — so its responses ride the same
 	// generation-keyed cache as /query.
 	ckey := fmt.Sprintf("related|%d|%s|%d", g.version, key, k)
-	if s.serveCached(w, ckey) {
+	if s.serveCached(r.Context(), w, ckey) {
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "walk")
 	related, err := g.related.Related(id, k)
+	span.SetAttr("results", len(related))
+	span.End()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "related: %v", err)
 		return
 	}
+	_, span = obs.StartSpan(r.Context(), "corpus")
 	out := make([]ArticleView, 0, len(related))
 	for _, i := range related {
 		out = append(out, g.view(i))
 	}
+	span.End()
 	s.writeCached(w, ckey, out)
 }
 
@@ -573,10 +636,12 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request, g *generation
 	if !ok {
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "corpus")
 	out := make([]ArticleView, 0, k)
 	for _, i := range g.order[:k] {
 		out = append(out, g.view(i))
 	}
+	span.End()
 	writeJSON(w, out)
 }
 
@@ -703,16 +768,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, g *generati
 
 	key := fmt.Sprintf("query|%d|%s|%s|%d|%d|%d|%d",
 		g.version, authorKey, venueKey, f.From, f.To, f.K, f.After)
-	if s.serveCached(w, key) {
+	if s.serveCached(r.Context(), w, key) {
 		return
 	}
 
+	_, span := obs.StartSpan(r.Context(), "index")
 	ids, more := g.qidx.Search(f)
+	span.SetAttr("results", len(ids))
+	span.End()
+	_, span = obs.StartSpan(r.Context(), "corpus")
 	resp := QueryResponse{Version: g.version, Count: len(ids),
 		Results: make([]ArticleView, 0, len(ids))}
 	for _, id := range ids {
 		resp.Results = append(resp.Results, g.view(int(id)))
 	}
+	span.End()
 	if more && len(ids) > 0 {
 		resp.NextCursor = encodeCursor(g.version, g.qidx.Pos(ids[len(ids)-1]))
 	}
@@ -721,9 +791,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, g *generati
 
 // serveCached answers from the response cache when the key is
 // resident, counting the hit or miss either way. The cache key must
-// embed the generation version (invalidation by keying).
-func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
+// embed the generation version (invalidation by keying). The lookup
+// is recorded as a cache span whose hit attribute also drives the
+// cache=hit|miss field of the wide-event request log.
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, key string) bool {
+	_, span := obs.StartSpan(ctx, "cache")
 	body, ok := s.cache.Get(key)
+	span.SetAttr("hit", ok)
+	span.End()
 	if !ok {
 		s.metrics.cacheMisses.Inc()
 		return false
@@ -820,6 +895,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"query_cache_misses":      s.metrics.cacheMisses.Value(),
 		"query_shed":              s.metrics.shed.Value(),
 		"query_queue_depth":       s.limiter.QueueDepth(),
+		"traces_recorded":         s.tracer.Count(),
+		"go_goroutines":           int64(s.metrics.runtime.Goroutines()),
+		"go_heap_live_bytes":      int64(s.metrics.runtime.HeapLiveBytes()),
+		"go_version":              s.metrics.build.GoVersion,
+		"build_revision":          s.metrics.build.Revision,
 	})
 }
 

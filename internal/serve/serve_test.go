@@ -10,8 +10,8 @@ import (
 	"scholarrank/internal/corpus"
 )
 
-// fixtureServer builds a 4-article ranked server.
-func fixtureServer(t *testing.T) *Server {
+// fixtureStore builds the 4-article fixture corpus.
+func fixtureStore(t *testing.T) *corpus.Store {
 	t.Helper()
 	b := corpus.NewBuilder()
 	au, _ := b.InternAuthor("au", "Author")
@@ -31,7 +31,13 @@ func fixtureServer(t *testing.T) *Server {
 			t.Fatal(err)
 		}
 	}
-	srv, err := New(b.Freeze(), core.DefaultOptions())
+	return b.Freeze()
+}
+
+// fixtureServer builds a 4-article ranked server.
+func fixtureServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := New(fixtureStore(t), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

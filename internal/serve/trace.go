@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"context"
+
+	"scholarrank/internal/core"
+	"scholarrank/internal/obs"
+)
+
+// solverSpans instruments a solve with one child span per solver
+// phase (solve.prestige, solve.hetero), carrying the iteration count
+// and final residual as attributes. It chains onto any Trace hook
+// already installed on opts rather than replacing it, and returns the
+// instrumented options plus a finish func that closes the span of the
+// phase still open when the solve returns. The solver invokes the
+// hook synchronously from one goroutine, so phase transitions are
+// ordered.
+func solverSpans(ctx context.Context, opts core.Options) (core.Options, func()) {
+	prev := opts.Trace
+	var cur *obs.Span
+	var phase string
+	opts.Trace = func(ev core.TraceEvent) {
+		if ev.Phase != phase {
+			cur.End()
+			phase = ev.Phase
+			_, cur = obs.StartSpan(ctx, "solve."+ev.Phase)
+		}
+		cur.SetAttr("iterations", ev.Iteration)
+		cur.SetAttr("residual", ev.Residual)
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	return opts, func() { cur.End() }
+}
