@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench bench-json bench-load
+.PHONY: check vet lint fmt fuzz-smoke build test test-race bench-quick bench bench-json bench-load bench-eval
 
 ## check: everything CI runs — vet, lint, build, race-detector tests on
 ## the parallel packages, then the full test suite.
@@ -23,6 +23,11 @@ lint: fmt fuzz-smoke
 	@bad=$$(grep -rn 'context\.Background()' --include='*.go' internal/serve/ | grep -v '_test\.go' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "lint: context.Background() in internal/serve (handlers must inherit the request context; background work uses Tracer.BackgroundContext):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn 'computePrestige\|computeHetero\|computePopularity\|applyFade' --include='*.go' . | grep -v '^\./internal/core/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: solver phase call outside internal/core (rank through the scorer registry — core.RankScorer or Engine.RankWith):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -75,6 +80,14 @@ bench-json:
 	@$(GO) test ./internal/corpus/ -run xxx -bench 'BenchmarkSCORPBoot' -benchtime 20x -benchmem \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_6.json
 	@echo "wrote BENCH_6.json"
+
+## bench-eval: the scorer leaderboard smoke into BENCH_9.json — every
+## registered scorer ranks one tiny synthetic corpus on a shared
+## engine, and the artifact records per-scorer cost plus the pairwise
+## agreement matrix (Kendall τ-b, Spearman ρ, top-K overlap).
+bench-eval:
+	$(GO) run ./cmd/sareval -leaderboard -quick -json BENCH_9.json
+	@echo "wrote BENCH_9.json"
 
 ## bench-load: serving-path load benchmark into BENCH_8.json. Ranks a
 ## 100k synthetic corpus in-process and drives it with the mixed

@@ -9,6 +9,7 @@
 //	sarank -in corpus.bin -entities
 //	sarank -in corpus.jsonl -save-scores ranking.snap
 //	sarank -in corpus.tsv -save-corpus corpus.scorp -k 0
+//	sarank -in corpus.jsonl -scorer ewpr -scorer-opt damping=0.9 -k 20
 //
 // With -save-scores the full QISA ranking (all signal components) is
 // persisted as a checksummed snapshot that sarserve -scores boots
@@ -23,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"scholarrank/internal/live"
 	"scholarrank/internal/obs"
 	"scholarrank/internal/rank"
+	"scholarrank/internal/sparse"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		in       = fs.String("in", "", "corpus file (jsonl, tsv or bin); required")
 		format   = fs.String("format", "", "corpus format override")
 		algo     = fs.String("algo", "QISA-Rank", "algorithm, or 'all' ("+cliutil.MethodNames()+")")
+		scorer   = fs.String("scorer", "", "registered core scorer ("+strings.Join(core.ScorerNames(), ", ")+"); overrides -algo and works with -save-scores and -trace")
 		k        = fs.Int("k", 20, "number of top articles to print")
 		workers  = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
 		entities = fs.Bool("entities", false, "also print top authors and venues (derived from article scores)")
@@ -62,6 +66,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trace    = fs.Bool("trace", false, "print per-iteration solver residuals for the prestige and hetero phases (QISA-Rank only)")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
+	var sopts core.ScorerOptions
+	fs.Func("scorer-opt", "scorer option as key=value (repeatable; see -scorer)", func(kv string) error {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("want key=value, got %q", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("option %s: %w", key, err)
+		}
+		if sopts == nil {
+			sopts = core.ScorerOptions{}
+		}
+		sopts[key] = f
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,11 +93,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
 	}
-	if *save != "" && !strings.EqualFold(*algo, "QISA-Rank") {
-		return fmt.Errorf("-save-scores persists the full signal breakdown and needs -algo QISA-Rank, not %q", *algo)
+	if *scorer == "" {
+		if *save != "" && !strings.EqualFold(*algo, "QISA-Rank") {
+			return fmt.Errorf("-save-scores persists the full signal breakdown and needs -algo QISA-Rank or -scorer, not %q", *algo)
+		}
+		if *trace && !strings.EqualFold(*algo, "QISA-Rank") {
+			return fmt.Errorf("-trace hooks the core solver loops and needs -algo QISA-Rank or -scorer, not %q", *algo)
+		}
 	}
-	if *trace && !strings.EqualFold(*algo, "QISA-Rank") {
-		return fmt.Errorf("-trace hooks the QISA solver loops and needs -algo QISA-Rank, not %q", *algo)
+	if sopts != nil && *scorer == "" {
+		return fmt.Errorf("-scorer-opt needs -scorer")
 	}
 
 	store, err := cliutil.LoadCorpus(*in, *format)
@@ -100,8 +125,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",
 		store.NumArticles(), store.NumCitations(), store.NumAuthors(), store.NumVenues())
 
-	if *save != "" || *trace {
-		return runQISA(stdout, stderr, store, net, *workers, *k, *entities, *save, *trace)
+	if *scorer != "" || *save != "" || *trace {
+		name := *scorer
+		if name == "" {
+			name = core.DefaultScorer
+		}
+		return runScorer(stdout, stderr, store, net, name, sopts, *workers, *k, *entities, *save, *trace)
 	}
 
 	var methods []experiments.Method
@@ -152,12 +181,13 @@ func printTop(w io.Writer, store *corpus.Store, scores []float64, k int) error {
 	return tw.Flush()
 }
 
-// runQISA runs the full QISA ranking (all signal components, not just
-// the blended score), optionally streaming per-iteration solver
-// residuals and optionally persisting the result as a serving
-// snapshot.
-func runQISA(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
-	workers, k int, entities bool, savePath string, trace bool) error {
+// runScorer runs one registered core scorer (all signal components it
+// produces, not just the blended score), optionally streaming
+// per-iteration solver residuals and optionally persisting the result
+// as a serving snapshot. The default scorer keeps its historical
+// QISA-Rank heading.
+func runScorer(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
+	scorer string, sopts core.ScorerOptions, workers, k int, entities bool, savePath string, trace bool) error {
 	opts := core.DefaultOptions()
 	opts.Workers = workers
 	if trace {
@@ -166,13 +196,25 @@ func runQISA(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
 				ev.Phase, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
 		}
 	}
-	sc, err := core.Rank(net, opts)
+	sc, err := core.RankScorer(net, scorer, sopts, opts)
 	if err != nil {
-		return fmt.Errorf("QISA-Rank: %w", err)
+		return fmt.Errorf("%s: %w", scorer, err)
 	}
-	fmt.Fprintf(stdout, "\n# QISA-Rank (prestige: %d iterations, residual %.2e, %s; hetero: %d iterations, residual %.2e, %s)\n",
-		sc.PrestigeStats.Iterations, sc.PrestigeStats.Residual, sc.PrestigeStats.Elapsed.Round(time.Microsecond),
-		sc.HeteroStats.Iterations, sc.HeteroStats.Residual, sc.HeteroStats.Elapsed.Round(time.Microsecond))
+	label := scorer
+	if scorer == core.DefaultScorer {
+		label = "QISA-Rank"
+	}
+	fmt.Fprintf(stdout, "\n# %s", label)
+	for _, st := range []struct {
+		phase string
+		stats sparse.IterStats
+	}{{"prestige", sc.PrestigeStats}, {"hetero", sc.HeteroStats}} {
+		if st.stats.Iterations > 0 {
+			fmt.Fprintf(stdout, " (%s: %d iterations, residual %.2e, %s)",
+				st.phase, st.stats.Iterations, st.stats.Residual, st.stats.Elapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintln(stdout)
 	if err := printTop(stdout, store, sc.Importance, k); err != nil {
 		return err
 	}

@@ -148,3 +148,38 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown algo accepted")
 	}
 }
+
+func TestRunScorer(t *testing.T) {
+	path := writeTestCorpus(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-scorer", "ewpr", "-scorer-opt", "damping=0.9", "-k", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# ewpr") {
+		t.Errorf("missing scorer header: %q", out.String())
+	}
+
+	// A scorer snapshot persists the scorer name and option bag.
+	snapPath := filepath.Join(t.TempDir(), "ewpr.snap")
+	out.Reset()
+	if err := run([]string{"-in", path, "-scorer", "alef", "-save-scores", snapPath, "-k", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := live.ReadSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scorer != "alef" {
+		t.Errorf("snapshot scorer = %q, want alef", snap.Scorer)
+	}
+
+	if err := run([]string{"-in", path, "-scorer", "no-such"}, &out, &errBuf); err == nil {
+		t.Error("unknown scorer accepted")
+	}
+	if err := run([]string{"-in", path, "-scorer", "ewpr", "-scorer-opt", "damping=high"}, &out, &errBuf); err == nil {
+		t.Error("non-numeric scorer option accepted")
+	}
+	if err := run([]string{"-in", path, "-scorer-opt", "damping=0.9"}, &out, &errBuf); err == nil {
+		t.Error("-scorer-opt without -scorer accepted")
+	}
+}

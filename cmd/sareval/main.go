@@ -7,6 +7,19 @@
 //	sareval -run all            # full-size corpora (~1 minute)
 //	sareval -run T2 -quick      # one experiment on shrunken corpora
 //	sareval -run all -csv out/  # also write out/T2.csv etc.
+//	sareval -leaderboard -quick # rank one corpus with every registered scorer
+//	sareval -leaderboard -json BENCH_9.json
+//
+// With -leaderboard the experiment suite is skipped: instead every
+// registered core scorer ranks the same synthetic corpus on a shared
+// engine, and the tool prints per-scorer solve cost plus the pairwise
+// agreement matrix (Kendall τ-b, Spearman ρ, top-K overlap). -json
+// additionally writes the results as a machine-readable artifact.
+//
+// Solver parallelism follows -workers; when that is 0 the
+// QISA_BENCH_WORKERS environment variable is consulted (the same
+// contract as the top-level benchmarks) before falling back to
+// NumCPU.
 package main
 
 import (
@@ -16,6 +29,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,12 +51,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sareval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID   = fs.String("run", "all", "experiment id (T1..T8, F1..F8) or 'all'")
-		quick   = fs.Bool("quick", false, "use shrunken corpora (seconds instead of minutes)")
-		workers = fs.Int("workers", 0, "mat-vec workers (0 = NumCPU)")
-		seed    = fs.Int64("seed", 0, "seed offset for variance studies")
-		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files")
-		version = fs.Bool("version", false, "print build version and exit")
+		runID       = fs.String("run", "all", "experiment id (T1..T8, F1..F8) or 'all'")
+		quick       = fs.Bool("quick", false, "use shrunken corpora (seconds instead of minutes)")
+		workers     = fs.Int("workers", 0, "mat-vec workers (0 = QISA_BENCH_WORKERS, then NumCPU)")
+		seed        = fs.Int64("seed", 0, "seed offset for variance studies")
+		csvDir      = fs.String("csv", "", "directory to also write per-table CSV files")
+		leaderboard = fs.Bool("leaderboard", false, "rank one corpus with every registered core scorer and print the agreement matrix")
+		topK        = fs.Int("topk", 100, "top-K cutoff for the leaderboard overlap metric")
+		jsonPath    = fs.String("json", "", "write leaderboard results as a JSON artifact (BENCH_9.json in CI)")
+		version     = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,8 +68,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, obs.VersionString("sareval"))
 		return nil
 	}
+	resolved, err := resolveWorkers(*workers, os.Getenv("QISA_BENCH_WORKERS"))
+	if err != nil {
+		return err
+	}
+	*workers = resolved
 
 	opts := experiments.Options{Quick: *quick, Workers: *workers, Seed: *seed}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *leaderboard {
+		if *topK <= 0 {
+			return fmt.Errorf("-topk must be positive, got %d", *topK)
+		}
+		return runLeaderboard(stdout, opts, *topK, *jsonPath, *csvDir)
+	}
+	if *jsonPath != "" {
+		return fmt.Errorf("-json only applies to -leaderboard runs")
+	}
 
 	var list []experiments.Experiment
 	if strings.EqualFold(*runID, "all") {
@@ -63,12 +100,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		list = []experiments.Experiment{e}
-	}
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return err
-		}
 	}
 
 	for _, e := range list {
@@ -91,6 +122,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "(%s finished in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// resolveWorkers applies the benchmark-parallelism contract: an
+// explicit -workers wins, then QISA_BENCH_WORKERS (the variable the
+// top-level benchmarks read), then 0 — the solver's NumCPU default. A
+// malformed environment value fails loudly rather than silently
+// benchmarking at the wrong parallelism.
+func resolveWorkers(flagWorkers int, env string) (int, error) {
+	if flagWorkers != 0 || env == "" {
+		return flagWorkers, nil
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad QISA_BENCH_WORKERS %q", env)
+	}
+	return n, nil
 }
 
 func writeCSV(dir string, t *experiments.Table) error {

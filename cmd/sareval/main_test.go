@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,5 +60,99 @@ func TestRunBadFlag(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run([]string{"-bogus"}, &out, &errBuf); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunLeaderboard(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_9.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-leaderboard", "-quick", "-topk", "50", "-json", jsonPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== L1:") || !strings.Contains(got, "== L2:") {
+		t.Fatalf("leaderboard tables missing: %q", got)
+	}
+	for _, scorer := range []string{"default", "prestige", "ewpr", "alef"} {
+		if !strings.Contains(got, scorer) {
+			t.Errorf("leaderboard missing scorer %q", scorer)
+		}
+	}
+	if !strings.Contains(got, "kendall_tau") || !strings.Contains(got, "overlap@50") {
+		t.Errorf("pairwise metrics missing: %q", got)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Articles int `json:"articles"`
+		TopK     int `json:"top_k"`
+		Scorers  []struct {
+			Name      string `json:"name"`
+			Converged bool   `json:"converged"`
+		} `json:"scorers"`
+		Pairwise []struct {
+			Kendall float64 `json:"kendall_tau"`
+		} `json:"pairwise"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Scorers) < 4 {
+		t.Errorf("artifact has %d scorers, want >= 4", len(report.Scorers))
+	}
+	wantPairs := len(report.Scorers) * (len(report.Scorers) - 1) / 2
+	if len(report.Pairwise) != wantPairs {
+		t.Errorf("artifact has %d pairs, want %d", len(report.Pairwise), wantPairs)
+	}
+	if report.TopK != 50 || report.Articles == 0 {
+		t.Errorf("artifact metadata: %+v", report)
+	}
+}
+
+func TestRunLeaderboardFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-leaderboard", "-quick", "-topk", "0"}, &out, &errBuf); err == nil {
+		t.Error("-topk 0 accepted")
+	}
+	if err := run([]string{"-run", "T1", "-quick", "-json", "x.json"}, &out, &errBuf); err == nil {
+		t.Error("-json without -leaderboard accepted")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	// -workers 0 defers to QISA_BENCH_WORKERS, the same contract the
+	// top-level benchmarks follow (the engine later clamps the request
+	// to GOMAXPROCS, so the resolution is tested before that clamp).
+	cases := []struct {
+		flag    int
+		env     string
+		want    int
+		wantErr bool
+	}{
+		{0, "", 0, false},
+		{0, "4", 4, false},
+		{3, "4", 3, false}, // explicit flag wins
+		{3, "", 3, false},
+		{0, "banana", 0, true},
+		{0, "-2", 0, true},
+		{0, "0", 0, true},
+	}
+	for _, c := range cases {
+		got, err := resolveWorkers(c.flag, c.env)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("resolveWorkers(%d, %q) = %d, %v; want %d, err=%v",
+				c.flag, c.env, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+func TestBenchWorkersEnvRejected(t *testing.T) {
+	t.Setenv("QISA_BENCH_WORKERS", "banana")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-run", "T1", "-quick"}, &out, &errBuf); err == nil {
+		t.Error("bad QISA_BENCH_WORKERS accepted")
 	}
 }

@@ -47,6 +47,7 @@
 //	sarserve -corpus corpus.scorp -scores ranking.snap    # zero-copy mmap boot
 //	sarserve -corpus corpus.scorp -mmap=false             # force the heap loader
 //	sarserve -in corpus.jsonl -spool deltas/ -refresh 30s # live updates
+//	sarserve -in corpus.jsonl -scorer ewpr                # non-default scorer
 //	sarserve -in corpus.jsonl -pprof -log-format json
 //
 // The -corpus form serves a columnar SCORP corpus (written by
@@ -93,6 +94,7 @@ func main() {
 		format      = flag.String("format", "", "corpus format override (with -in)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		scorerName  = flag.String("scorer", "", "registered ranking scorer for every (re-)solve (empty = default pipeline)")
 		scores      = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
 		spool       = flag.String("spool", "", "directory watched for JSONL delta files")
 		refresh     = flag.Duration("refresh", 30*time.Second, "spool poll interval (needs -spool)")
@@ -158,8 +160,14 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	if *scorerName != "" {
+		if _, ok := core.ScorerDoc(*scorerName); !ok {
+			fatal("unknown -scorer", "scorer", *scorerName, "registered", core.ScorerNames())
+		}
+	}
 	cfg := serve.Config{
 		Options:           opts,
+		Scorer:            *scorerName,
 		SpoolDir:          *spool,
 		RefreshInterval:   *refresh,
 		Debounce:          *debounce,
@@ -188,7 +196,7 @@ func main() {
 			"articles", store.NumArticles(),
 			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	} else {
-		logger.Info("ranking corpus", "articles", store.NumArticles())
+		logger.Info("ranking corpus", "articles", store.NumArticles(), "scorer", cfg.Scorer)
 		if srv, err = serve.NewWithConfig(store, cfg); err != nil {
 			fatal("rank corpus", "error", err)
 		}

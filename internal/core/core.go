@@ -275,6 +275,11 @@ const (
 	PhasePrestige = "prestige"
 	// PhaseHetero is the coupled article–author–venue walk stage.
 	PhaseHetero = "hetero"
+	// PhaseEWPR is the ensemble weighted PageRank scorer's walk
+	// (all ensemble members trace under one phase).
+	PhaseEWPR = "ewpr"
+	// PhaseALEF is the article-eigenfactor scorer's walk.
+	PhaseALEF = "alef"
 )
 
 // TraceEvent describes one completed iteration of an iterative solver
@@ -362,6 +367,14 @@ type Scores struct {
 	// Pool summarises the solver worker pool's occupancy over the
 	// engine's lifetime (parallelism, kernel sweeps, chunk tasks).
 	Pool sparse.PoolStats
+	// Scorer is the registry name of the scorer that produced this
+	// result (DefaultScorer for the full QISA-Rank pipeline). Scorers
+	// other than the composite leave the component vectors they don't
+	// compute nil.
+	Scorer string
+	// ScorerOpts is the option bag the scorer was constructed with;
+	// nil when every default was used.
+	ScorerOpts ScorerOptions
 }
 
 // Rank computes QISA-Rank over the network. Callers ranking the same
@@ -371,4 +384,12 @@ func Rank(net *hetnet.Network, opts Options) (*Scores, error) {
 	eng := NewEngine(net)
 	defer eng.Close()
 	return eng.Rank(opts)
+}
+
+// RankScorer is the one-shot form of Engine.RankScorer: rank the
+// network with the named registered scorer and the given option bag.
+func RankScorer(net *hetnet.Network, name string, sopts ScorerOptions, opts Options) (*Scores, error) {
+	eng := NewEngine(net)
+	defer eng.Close()
+	return eng.RankScorer(name, sopts, opts)
 }

@@ -36,13 +36,14 @@ type Engine struct {
 	pool     *sparse.Pool
 	citTrans *sparse.Transition
 	gapTrans map[float64]*sparse.Transition
-	// Warm starts: the previous raw prestige solution per RhoGap, and
-	// the previous hetero solution, both kept in solver (permuted)
-	// space so a resume feeds the solver directly. Fixed points do not
-	// depend on the starting vector, so warm starting is purely an
-	// iteration-count optimisation.
-	warmPrestige map[float64][]float64
-	warmHetero   []float64
+	// Warm starts: previous solver fixed points kept in solver
+	// (permuted) space so a resume feeds the solver directly, keyed by
+	// scorer-namespaced stage keys (SolveContext.WarmStart/KeepWarm) —
+	// e.g. the default pipeline keeps one prestige vector per distinct
+	// RhoGap plus its hetero vector. Fixed points do not depend on the
+	// starting vector, so warm starting is purely an iteration-count
+	// optimisation.
+	warm map[string][]float64
 }
 
 // prestige returns the explicit prestige seed, nil-safe.
@@ -90,10 +91,10 @@ func warmVector(explicit, cached []float64, n int, perm *sparse.Permutation) ([]
 // not be mutated afterwards.
 func NewEngine(net *hetnet.Network) *Engine {
 	return &Engine{
-		net:          net,
-		view:         net.SolverView(),
-		gapTrans:     make(map[float64]*sparse.Transition),
-		warmPrestige: make(map[float64][]float64),
+		net:      net,
+		view:     net.SolverView(),
+		gapTrans: make(map[float64]*sparse.Transition),
+		warm:     make(map[string][]float64),
 	}
 }
 
@@ -159,62 +160,56 @@ func (e *Engine) gapTransition(rho float64, pool *sparse.Pool) (*sparse.Transiti
 	return t, nil
 }
 
-// Rank computes QISA-Rank with the given options, reusing cached
-// substrate where possible.
+// Rank computes QISA-Rank — the registered default scorer — with the
+// given options, reusing cached substrate where possible.
 func (e *Engine) Rank(opts Options) (*Scores, error) {
+	return e.RankScorer(DefaultScorer, nil, opts)
+}
+
+// RankScorer ranks with the named registered scorer, constructed from
+// the given option bag (nil selects every scorer default). The rank
+// Options drive shared machinery — workers, iteration control, trace
+// hooks, decay rates — while the bag carries scorer-specific knobs.
+func (e *Engine) RankScorer(name string, sopts ScorerOptions, opts Options) (*Scores, error) {
+	s, err := NewScorer(name, sopts)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := e.RankWith(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	sc.ScorerOpts = sopts.Clone()
+	return sc, nil
+}
+
+// RankWith ranks with an explicit scorer instance: validates and
+// applies the options, builds the solve context over the engine's
+// cached substrate, runs the scorer, and assembles the result.
+func (e *Engine) RankWith(s Scorer, opts Options) (*Scores, error) {
 	opts = opts.effective()
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if e.net.NumArticles() == 0 {
 		return &Scores{
+			Scorer:        s.Name(),
 			PrestigeStats: sparse.IterStats{Converged: true},
 			HeteroStats:   sparse.IterStats{Converged: true},
 		}, nil
 	}
 	pool := e.ensurePool(opts.Workers)
-	perm := e.view.Perm()
-	gapTrans, err := e.gapTransition(opts.RhoGap, pool)
+	ctx := &SolveContext{eng: e, pool: pool, opts: opts, scorer: s.Name()}
+	importance, err := s.Score(ctx)
 	if err != nil {
 		return nil, err
 	}
-	initPrestige, err := warmVector(opts.InitialScores.prestige(), e.warmPrestige[opts.RhoGap], e.net.NumArticles(), perm)
-	if err != nil {
-		return nil, fmt.Errorf("core: prestige warm start: %w", err)
+	sc := ctx.comps
+	if sc == nil {
+		sc = &Scores{}
 	}
-	initHetero, err := warmVector(opts.InitialScores.hetero(), e.warmHetero, e.net.NumArticles(), perm)
-	if err != nil {
-		return nil, fmt.Errorf("core: hetero warm start: %w", err)
-	}
-	rawSolver, pStats, err := computePrestige(e.view, opts, gapTrans, initPrestige)
-	if err != nil {
-		return nil, err
-	}
-	e.warmPrestige[opts.RhoGap] = rawSolver
-	rawPrestige := perm.Restored(rawSolver)
-	prestige, err := applyFade(e.net, opts, rawPrestige)
-	if err != nil {
-		return nil, err
-	}
-	popularity := computePopularity(e.net, opts)
-	heteroSolver, hStats, err := computeHetero(e.view, opts, e.citationTransition(pool), pool, initHetero)
-	if err != nil {
-		return nil, err
-	}
-	e.warmHetero = heteroSolver
-	hetero := perm.Restored(heteroSolver)
-	importance, err := combine(opts, prestige, popularity, hetero)
-	if err != nil {
-		return nil, err
-	}
-	return &Scores{
-		Importance:    importance,
-		Prestige:      prestige,
-		Popularity:    popularity,
-		Hetero:        hetero,
-		RawPrestige:   rawPrestige,
-		PrestigeStats: pStats,
-		HeteroStats:   hStats,
-		Pool:          pool.Stats(),
-	}, nil
+	sc.Importance = importance
+	sc.Scorer = s.Name()
+	sc.Pool = pool.Stats()
+	return sc, nil
 }

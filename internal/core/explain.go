@@ -35,17 +35,28 @@ type Explainer struct {
 	pct        [][]float64
 }
 
-// NewExplainer precomputes percentile vectors for the scores.
+// NewExplainer precomputes percentile vectors for the scores. Only
+// the component signals the producing scorer actually computed are
+// explained: a single-stage or external-baseline scorer leaves its
+// unused components nil, and Explain then reports just the signals
+// that exist (possibly none).
 func NewExplainer(sc *Scores) *Explainer {
-	return &Explainer{
-		importance: sc.Importance,
-		signals:    []string{"prestige", "popularity", "hetero"},
-		pct: [][]float64{
-			eval.Percentiles(sc.Prestige),
-			eval.Percentiles(sc.Popularity),
-			eval.Percentiles(sc.Hetero),
-		},
+	e := &Explainer{importance: sc.Importance}
+	for _, sig := range []struct {
+		name string
+		vec  []float64
+	}{
+		{"prestige", sc.Prestige},
+		{"popularity", sc.Popularity},
+		{"hetero", sc.Hetero},
+	} {
+		if sig.vec == nil {
+			continue
+		}
+		e.signals = append(e.signals, sig.name)
+		e.pct = append(e.pct, eval.Percentiles(sig.vec))
 	}
+	return e
 }
 
 // Explain decomposes the importance difference between two articles

@@ -73,16 +73,27 @@ func Methods() []Method {
 			opts.Iter = evalIter
 			return rank.PRank(net, opts)
 		}},
-		{Name: "QISA-Rank", Run: func(net *hetnet.Network, workers int) (rank.Result, error) {
-			opts := core.DefaultOptions()
-			opts.Workers = workers
-			opts.Iter = evalIter
-			sc, err := core.Rank(net, opts)
-			if err != nil {
-				return rank.Result{}, err
-			}
-			return rank.Result{Scores: sc.Importance, Stats: sc.PrestigeStats}, nil
-		}},
+		{Name: "EWPR", Run: coreScorerRun(core.ScorerEWPR)},
+		{Name: "ALEF", Run: coreScorerRun(core.ScorerALEF)},
+		{Name: QISAMethodName, Run: coreScorerRun(core.DefaultScorer)},
+	}
+}
+
+// coreScorerRun adapts a registered core scorer to the comparison
+// harness: same iteration budget as every other method, scores and
+// first-stage stats extracted from the engine result. The core-family
+// methods all route through the scorer registry, so a new registered
+// scorer joins the comparison by adding one line above.
+func coreScorerRun(scorer string) func(*hetnet.Network, int) (rank.Result, error) {
+	return func(net *hetnet.Network, workers int) (rank.Result, error) {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.Iter = evalIter
+		sc, err := core.RankScorer(net, scorer, nil, opts)
+		if err != nil {
+			return rank.Result{}, err
+		}
+		return rank.Result{Scores: sc.Importance, Stats: sc.PrestigeStats}, nil
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"scholarrank/internal/core"
@@ -42,19 +43,29 @@ import (
 // IEEE-754 bit patterns):
 //
 //	seq createdUnix fingerprint(8B) articles citations
+//	[v3+: scorer(string) nopts { key(string) value(8B) }×nopts]
 //	n  importance[n] prestige[n] popularity[n] hetero[n]
 //	   rawPrestige[n] percentile[n]
 //	prestigeStats heteroStats   (each: iterations residual(8B) converged
 //	                             [v2+: elapsedNanos])
 //
+// Strings are a uvarint length followed by raw bytes. Option keys are
+// written in sorted order, so equal snapshots encode to equal bytes.
+//
 // Version 2 added the per-phase solver wall time to the stats blocks;
-// version-1 snapshots are still readable (elapsed decodes as zero).
+// version 3 added the scorer name and its option bag. Older snapshots
+// are still readable: elapsed decodes as zero, and the scorer decodes
+// as the default pipeline (which is what produced every pre-v3
+// snapshot).
 const (
 	snapshotMagic   = "SRNKS"
-	snapshotVersion = 2
+	snapshotVersion = 3
 	// maxSnapshotLen caps decoded vector lengths, protecting the
 	// reader from corrupt or hostile length prefixes.
 	maxSnapshotLen = 1 << 31
+	// maxSnapshotStr caps decoded scorer/option-key lengths, and
+	// doubles as the option-bag entry cap.
+	maxSnapshotStr = 1 << 10
 )
 
 // Snapshot errors.
@@ -82,6 +93,12 @@ type Snapshot struct {
 	Articles  int
 	Citations int
 
+	// Scorer is the registry name of the scorer that produced the
+	// ranking, and ScorerOpts its option bag (nil when defaults).
+	// Pre-v3 snapshots decode as the default pipeline.
+	Scorer     string
+	ScorerOpts core.ScorerOptions
+
 	// Importance, Prestige, Popularity, Hetero and RawPrestige mirror
 	// core.Scores. Percentile[i] is article i's rank percentile in
 	// [0, 1] by descending importance.
@@ -98,7 +115,9 @@ type Snapshot struct {
 	HeteroStats   sparse.IterStats
 }
 
-// Capture builds a snapshot of scores as solved on store.
+// Capture builds a snapshot of scores as solved on store. Component
+// vectors a scorer did not compute (non-default scorers leave them
+// nil) are stored as zeros, keeping the on-disk layout rectangular.
 func Capture(store *corpus.Store, sc *core.Scores, seq, createdUnix int64) *Snapshot {
 	n := store.NumArticles()
 	pct := make([]float64, n)
@@ -109,21 +128,36 @@ func Capture(store *corpus.Store, sc *core.Scores, seq, createdUnix int64) *Snap
 			pct[i] = 1 - float64(p)/float64(n-1)
 		}
 	}
+	scorer := sc.Scorer
+	if scorer == "" {
+		scorer = core.DefaultScorer
+	}
 	return &Snapshot{
 		Seq:           seq,
 		CreatedUnix:   createdUnix,
 		Fingerprint:   Fingerprint(store),
 		Articles:      n,
 		Citations:     store.NumCitations(),
+		Scorer:        scorer,
+		ScorerOpts:    sc.ScorerOpts.Clone(),
 		Importance:    sparse.Clone(sc.Importance),
-		Prestige:      sparse.Clone(sc.Prestige),
-		Popularity:    sparse.Clone(sc.Popularity),
-		Hetero:        sparse.Clone(sc.Hetero),
-		RawPrestige:   sparse.Clone(sc.RawPrestige),
+		Prestige:      componentOrZeros(sc.Prestige, n),
+		Popularity:    componentOrZeros(sc.Popularity, n),
+		Hetero:        componentOrZeros(sc.Hetero, n),
+		RawPrestige:   componentOrZeros(sc.RawPrestige, n),
 		Percentile:    pct,
 		PrestigeStats: statsSansTrace(sc.PrestigeStats),
 		HeteroStats:   statsSansTrace(sc.HeteroStats),
 	}
+}
+
+// componentOrZeros clones a component vector, substituting zeros when
+// the scorer left it nil.
+func componentOrZeros(v []float64, n int) []float64 {
+	if v == nil {
+		return make([]float64, n)
+	}
+	return sparse.Clone(v)
 }
 
 func statsSansTrace(st sparse.IterStats) sparse.IterStats {
@@ -134,6 +168,10 @@ func statsSansTrace(st sparse.IterStats) sparse.IterStats {
 // Scores reconstitutes the core.Scores view of the snapshot. The
 // slices are shared with the snapshot, not copied.
 func (sn *Snapshot) Scores() *core.Scores {
+	scorer := sn.Scorer
+	if scorer == "" {
+		scorer = core.DefaultScorer
+	}
 	return &core.Scores{
 		Importance:    sn.Importance,
 		Prestige:      sn.Prestige,
@@ -142,6 +180,8 @@ func (sn *Snapshot) Scores() *core.Scores {
 		RawPrestige:   sn.RawPrestige,
 		PrestigeStats: sn.PrestigeStats,
 		HeteroStats:   sn.HeteroStats,
+		Scorer:        scorer,
+		ScorerOpts:    sn.ScorerOpts.Clone(),
 	}
 }
 
@@ -225,6 +265,14 @@ func (cw *crcWriter) float(f float64) error {
 	return err
 }
 
+func (cw *crcWriter) string(s string) error {
+	if err := cw.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(cw, s)
+	return err
+}
+
 func (cw *crcWriter) vector(v []float64) error {
 	for _, f := range v {
 		if err := cw.float(f); err != nil {
@@ -295,6 +343,27 @@ func writeSnapshotVersion(w io.Writer, sn *Snapshot, version byte) error {
 		if err := cw.uvarint(uint64(sn.Citations)); err != nil {
 			return err
 		}
+		if version >= 3 {
+			if err := cw.string(sn.Scorer); err != nil {
+				return err
+			}
+			keys := make([]string, 0, len(sn.ScorerOpts))
+			for k := range sn.ScorerOpts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			if err := cw.uvarint(uint64(len(keys))); err != nil {
+				return err
+			}
+			for _, k := range keys {
+				if err := cw.string(k); err != nil {
+					return err
+				}
+				if err := cw.float(sn.ScorerOpts[k]); err != nil {
+					return err
+				}
+			}
+		}
 		if err := cw.uvarint(uint64(n)); err != nil {
 			return err
 		}
@@ -355,6 +424,21 @@ func (cr *crcReader) float() (float64, error) {
 		return 0, err
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(buf[:])), nil
+}
+
+func (cr *crcReader) string() (string, error) {
+	l, err := cr.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if l > maxSnapshotStr {
+		return "", fmt.Errorf("%w: %d-byte string", ErrBadSnapshot, l)
+	}
+	buf := make([]byte, l)
+	if err := cr.full(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
 }
 
 func (cr *crcReader) vector(n int) ([]float64, error) {
@@ -460,6 +544,35 @@ func readSnapshotPayload(cr *crcReader, version byte) (*Snapshot, error) {
 	}
 	sn.Articles = int(articles)
 	sn.Citations = int(citations)
+	if version >= 3 {
+		if sn.Scorer, err = cr.string(); err != nil {
+			return nil, err
+		}
+		nopts, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nopts > maxSnapshotStr {
+			return nil, fmt.Errorf("%w: %d scorer options", ErrBadSnapshot, nopts)
+		}
+		if nopts > 0 {
+			sn.ScorerOpts = make(core.ScorerOptions, nopts)
+			for i := uint64(0); i < nopts; i++ {
+				k, err := cr.string()
+				if err != nil {
+					return nil, err
+				}
+				v, err := cr.float()
+				if err != nil {
+					return nil, err
+				}
+				sn.ScorerOpts[k] = v
+			}
+		}
+	} else {
+		// Every pre-v3 snapshot was produced by the default pipeline.
+		sn.Scorer = core.DefaultScorer
+	}
 	n, err := cr.uvarint()
 	if err != nil {
 		return nil, err

@@ -554,11 +554,12 @@ func (sp *Span) ServerTiming() string {
 
 // WideEventHeaders maps response headers worth folding into the
 // canonical request event to the attribute name they appear under.
-// The default surfaces the serving layer's ranking generation, so
-// every logged request is attributable to the ranking that answered
-// it.
+// The default surfaces the serving layer's ranking generation and the
+// scorer that produced it, so every logged request is attributable to
+// the ranking that answered it.
 var WideEventHeaders = map[string]string{
 	"X-Ranking-Version": "ranking_version",
+	"X-Ranking-Scorer":  "ranking_scorer",
 }
 
 // timingWriter injects the Server-Timing and captures status/bytes.

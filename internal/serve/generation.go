@@ -33,6 +33,7 @@ import (
 type generation struct {
 	version     int64
 	source      string // "solve", "snapshot", "ingest" or "reload"
+	scorer      string // registered scorer that produced the ranking
 	rankedAt    time.Time
 	fingerprint uint64
 
@@ -91,8 +92,12 @@ func newGeneration(store *corpus.Store, net *hetnet.Network, scores *core.Scores
 	if !store.Retain() {
 		return nil, fmt.Errorf("serve: corpus mapping already closed")
 	}
+	scorer := scores.Scorer
+	if scorer == "" {
+		scorer = core.DefaultScorer
+	}
 	g := &generation{
-		version: version, source: source, rankedAt: rankedAt,
+		version: version, source: source, scorer: scorer, rankedAt: rankedAt,
 		fingerprint: live.Fingerprint(store),
 		store:       store, net: net, scores: scores, order: order, pos: pos,
 		authorScores: authorScores, venueScores: venueScores,
@@ -140,11 +145,20 @@ func (g *generation) view(i int) ArticleView {
 	return ArticleView{
 		Key: a.Key, Title: a.Title, Year: a.Year, Rank: g.pos[i],
 		Importance: g.scores.Importance[i],
-		Prestige:   g.scores.Prestige[i],
-		Popularity: g.scores.Popularity[i],
-		Hetero:     g.scores.Hetero[i],
+		Prestige:   componentAt(g.scores.Prestige, i),
+		Popularity: componentAt(g.scores.Popularity, i),
+		Hetero:     componentAt(g.scores.Hetero, i),
 		Percentile: pct,
 	}
+}
+
+// componentAt reads one component score; scorers that don't produce a
+// component leave its vector nil, which serves as zero.
+func componentAt(v []float64, i int) float64 {
+	if v == nil {
+		return 0
+	}
+	return v[i]
 }
 
 // snapshot packages the generation as a persistable ranking snapshot.
@@ -213,7 +227,7 @@ func (s *Server) rebuildLocked(ctx context.Context, store *corpus.Store, source 
 	opts.InitialScores = core.FromScores(prev.scores, store.NumArticles())
 	sctx, solveSpan := obs.StartSpan(ctx, "solve", obs.Attr{Key: "source", Value: source})
 	opts, finish := solverSpans(sctx, opts)
-	scores, err := eng.Rank(opts)
+	scores, err := eng.RankScorer(s.scorerName(), s.cfg.ScorerOpts, opts)
 	finish()
 	solveSpan.End()
 	if err != nil {

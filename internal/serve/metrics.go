@@ -16,6 +16,7 @@ const (
 	metricIngestQuarantined = "sarserve_ingest_batches_quarantined_total"
 	metricStaleness         = "sarserve_ranking_staleness_seconds"
 	metricVersion           = "sarserve_ranking_version"
+	metricRankingScorer     = "sarserve_ranking_scorer"
 	metricSolverIters       = "sarserve_solver_iterations"
 	metricSolverResidual    = "sarserve_solver_residual"
 	metricSolverSeconds     = "sarserve_solver_phase_seconds"
@@ -139,6 +140,21 @@ func (m *serveMetrics) observeServer(s *Server) {
 			}
 			return 0
 		})
+	// One series per registered scorer, 1 on the one that produced the
+	// serving ranking — the corpus_load_mode idiom, so dashboards can
+	// group fleets by active scorer without parsing label values.
+	for _, name := range core.ScorerNames() {
+		name := name
+		m.reg.GaugeFunc(metricRankingScorer,
+			"Registered scorer behind the serving ranking: 1 on the active scorer's series.",
+			obs.Labels{"scorer": name},
+			func() float64 {
+				if g := s.gen.Load(); g != nil && g.scorer == name {
+					return 1
+				}
+				return 0
+			})
+	}
 
 	stats := map[string]func() sparse.IterStats{
 		core.PhasePrestige: func() sparse.IterStats { return scores().PrestigeStats },

@@ -58,6 +58,12 @@ const defaultTraceThreshold = 100 * time.Millisecond
 type Config struct {
 	// Options parameterises every (re-)solve.
 	Options core.Options
+	// Scorer names the registered ranking scorer every (re-)solve runs
+	// with; empty selects the default pipeline. See core.ScorerNames.
+	Scorer string
+	// ScorerOpts is the option bag passed to the selected scorer
+	// (per-scorer keys; see core.ScorerDoc).
+	ScorerOpts core.ScorerOptions
 	// SpoolDir, when set, is watched for JSONL delta files
 	// (*.jsonl); see the live package. Ingested files are renamed
 	// *.done, malformed ones *.err.
@@ -176,7 +182,7 @@ func NewWithConfig(store *corpus.Store, cfg Config) (*Server, error) {
 	eng := core.NewEngine(net)
 	ctx, span := obs.StartSpan(s.bg, "boot.solve")
 	opts, finish := solverSpans(ctx, cfg.Options)
-	scores, err := eng.Rank(opts)
+	scores, err := eng.RankScorer(s.scorerName(), cfg.ScorerOpts, opts)
 	finish()
 	span.End()
 	if err != nil {
@@ -311,13 +317,24 @@ func (s *Server) pin() *generation {
 }
 
 // current returns the pinned serving generation and stamps its
-// version on the response, so clients (and the hot-swap tests) can
-// correlate a payload with the ranking that produced it. Callers must
-// release the generation when the response is written.
+// version and producing scorer on the response, so clients (and the
+// hot-swap tests) can correlate a payload with the ranking that
+// produced it. Callers must release the generation when the response
+// is written.
 func (s *Server) current(w http.ResponseWriter) *generation {
 	g := s.pin()
 	w.Header().Set("X-Ranking-Version", strconv.FormatInt(g.version, 10))
+	w.Header().Set("X-Ranking-Scorer", g.scorer)
 	return g
+}
+
+// scorerName resolves the configured scorer name, defaulting to the
+// standard QISA pipeline.
+func (s *Server) scorerName() string {
+	if s.cfg.Scorer == "" {
+		return core.DefaultScorer
+	}
+	return s.cfg.Scorer
 }
 
 // Version returns the current generation number; it increments on
@@ -865,6 +882,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"authors":                 g.store.NumAuthors(),
 		"venues":                  g.store.NumVenues(),
 		"nonzero_importance":      nonZero,
+		"ranking_scorer":          g.scorer,
 		"prestige_iters":          g.scores.PrestigeStats.Iterations,
 		"hetero_iters":            g.scores.HeteroStats.Iterations,
 		"prestige_converged":      g.scores.PrestigeStats.Converged,
