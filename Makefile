@@ -44,6 +44,7 @@ fmt:
 fuzz-smoke:
 	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadTSV -fuzztime 10s
 	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzReadSCORP -fuzztime 10s
+	$(GO) test ./internal/corpus/ -run xxx -fuzz FuzzParseShardManifest -fuzztime 10s
 	$(GO) test ./internal/obs/ -run xxx -fuzz FuzzParseTraceparent -fuzztime 10s
 
 build:
@@ -69,8 +70,9 @@ bench:
 ## bench-json: machine-readable benchmark artifacts. Runs the
 ## reordering/extrapolation walk benchmark and the end-to-end parallel
 ## solve (quick corpus) into BENCH_5.json, then the 100k corpus
-## boot-time benchmark (mmap vs heap) into BENCH_6.json, via
-## cmd/benchjson.
+## boot-time benchmark (mmap vs heap) into BENCH_6.json, then the
+## shard-scaling curve (damped walk over 1/2/4/8 edge-balanced shards
+## on the 100k power-law corpus) into BENCH_10.json, via cmd/benchjson.
 bench-json:
 	@{ \
 		QISA_BENCH_QUICK=1 $(GO) test -run xxx -bench 'BenchmarkFigure6Parallel$$' -benchtime 20x -benchmem . && \
@@ -80,6 +82,9 @@ bench-json:
 	@$(GO) test ./internal/corpus/ -run xxx -bench 'BenchmarkSCORPBoot' -benchtime 20x -benchmem \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_6.json
 	@echo "wrote BENCH_6.json"
+	@$(GO) test ./internal/sparse/ -run xxx -bench 'BenchmarkShardedWalkPowerLaw100k' -benchtime 3x -count 3 -benchmem \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_10.json
+	@echo "wrote BENCH_10.json"
 
 ## bench-eval: the scorer leaderboard smoke into BENCH_9.json — every
 ## registered scorer ranks one tiny synthetic corpus on a shared

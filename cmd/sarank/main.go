@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		save     = fs.String("save-scores", "", "write the QISA ranking as a snapshot file for sarserve -scores")
 		saveCorp = fs.String("save-corpus", "", "write the loaded corpus as a columnar SCORP file for sarserve -corpus")
 		trace    = fs.Bool("trace", false, "print per-iteration solver residuals for the prestige and hetero phases (QISA-Rank only)")
+		shards   = fs.Int("shards", 1, "solve the damped walks over this many edge-balanced shards with boundary-mass exchange (QISA-Rank/scorer path only)")
+		shardJac = fs.Bool("shard-jacobi", false, "with -shards: exchange boundary mass only at sweep barriers (jacobi schedule) instead of in-sweep")
 		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	var sopts core.ScorerOptions
@@ -100,6 +102,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *trace && !strings.EqualFold(*algo, "QISA-Rank") {
 			return fmt.Errorf("-trace hooks the core solver loops and needs -algo QISA-Rank or -scorer, not %q", *algo)
 		}
+		if *shards > 1 && !strings.EqualFold(*algo, "QISA-Rank") {
+			return fmt.Errorf("-shards routes through the core solver and needs -algo QISA-Rank or -scorer, not %q", *algo)
+		}
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: want >= 1", *shards)
+	}
+	if *shardJac && *shards <= 1 {
+		return fmt.Errorf("-shard-jacobi needs -shards > 1")
 	}
 	if sopts != nil && *scorer == "" {
 		return fmt.Errorf("-scorer-opt needs -scorer")
@@ -125,12 +136,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "loaded %d articles, %d citations, %d authors, %d venues\n",
 		store.NumArticles(), store.NumCitations(), store.NumAuthors(), store.NumVenues())
 
-	if *scorer != "" || *save != "" || *trace {
+	if *scorer != "" || *save != "" || *trace || *shards > 1 {
 		name := *scorer
 		if name == "" {
 			name = core.DefaultScorer
 		}
-		return runScorer(stdout, stderr, store, net, name, sopts, *workers, *k, *entities, *save, *trace)
+		return runScorer(stdout, stderr, store, net, name, sopts, *workers, *k, *entities, *save, *trace, *shards, *shardJac)
 	}
 
 	var methods []experiments.Method
@@ -187,9 +198,12 @@ func printTop(w io.Writer, store *corpus.Store, scores []float64, k int) error {
 // as a serving snapshot. The default scorer keeps its historical
 // QISA-Rank heading.
 func runScorer(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Network,
-	scorer string, sopts core.ScorerOptions, workers, k int, entities bool, savePath string, trace bool) error {
+	scorer string, sopts core.ScorerOptions, workers, k int, entities bool, savePath string, trace bool,
+	shards int, shardJacobi bool) error {
 	opts := core.DefaultOptions()
 	opts.Workers = workers
+	opts.Shards = shards
+	opts.ShardJacobi = shardJacobi
 	if trace {
 		opts.Trace = func(ev core.TraceEvent) {
 			fmt.Fprintf(stderr, "trace %-8s iter=%-3d residual=%.3e elapsed=%s\n",
@@ -215,6 +229,10 @@ func runScorer(stdout, stderr io.Writer, store *corpus.Store, net *hetnet.Networ
 		}
 	}
 	fmt.Fprintln(stdout)
+	if sc.Shards > 1 {
+		fmt.Fprintf(stderr, "sharded solve: %d shards, edges %v, %d boundary-mass exchanges\n",
+			sc.Shards, sc.ShardEdges, sc.PrestigeStats.Exchanges+sc.HeteroStats.Exchanges)
+	}
 	if err := printTop(stdout, store, sc.Importance, k); err != nil {
 		return err
 	}

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csvDir      = fs.String("csv", "", "directory to also write per-table CSV files")
 		leaderboard = fs.Bool("leaderboard", false, "rank one corpus with every registered core scorer and print the agreement matrix")
 		topK        = fs.Int("topk", 100, "top-K cutoff for the leaderboard overlap metric")
+		shards      = fs.Int("shards", 1, "leaderboard: solve damped walks over this many edge-balanced shards (one worker pool shared across shards)")
 		jsonPath    = fs.String("json", "", "write leaderboard results as a JSON artifact (BENCH_9.json in CI)")
 		version     = fs.Bool("version", false, "print build version and exit")
 	)
@@ -81,14 +82,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	}
 	if *leaderboard {
 		if *topK <= 0 {
 			return fmt.Errorf("-topk must be positive, got %d", *topK)
 		}
-		return runLeaderboard(stdout, opts, *topK, *jsonPath, *csvDir)
+		return runLeaderboard(stdout, opts, *topK, *shards, *jsonPath, *csvDir)
 	}
 	if *jsonPath != "" {
 		return fmt.Errorf("-json only applies to -leaderboard runs")
+	}
+	if *shards > 1 {
+		return fmt.Errorf("-shards only applies to -leaderboard runs")
 	}
 
 	var list []experiments.Experiment

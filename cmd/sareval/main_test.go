@@ -112,6 +112,43 @@ func TestRunLeaderboard(t *testing.T) {
 	}
 }
 
+// TestRunLeaderboardShardedHonorsBenchWorkers is the regression test
+// for the benchmark-parallelism contract on the sharded path: with
+// -workers 0 the leaderboard must take its worker count from
+// QISA_BENCH_WORKERS and apply it to the single pool shared by every
+// shard — the artifact reports that pool's size, not workers×shards.
+func TestRunLeaderboardShardedHonorsBenchWorkers(t *testing.T) {
+	t.Setenv("QISA_BENCH_WORKERS", "1")
+	jsonPath := filepath.Join(t.TempDir(), "BENCH.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-leaderboard", "-quick", "-shards", "2", "-topk", "20", "-json", jsonPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 workers, 2 shards") {
+		t.Errorf("cost-table note missing shared-pool shape: %q", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Workers int `json:"workers"`
+		Shards  int `json:"shards"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Workers != 1 || report.Shards != 2 {
+		t.Errorf("artifact workers/shards = %d/%d, want 1/2", report.Workers, report.Shards)
+	}
+
+	// A malformed value still fails loudly on the sharded path.
+	t.Setenv("QISA_BENCH_WORKERS", "banana")
+	if err := run([]string{"-leaderboard", "-quick", "-shards", "2"}, &out, &errBuf); err == nil {
+		t.Error("bad QISA_BENCH_WORKERS accepted on sharded leaderboard")
+	}
+}
+
 func TestRunLeaderboardFlagValidation(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run([]string{"-leaderboard", "-quick", "-topk", "0"}, &out, &errBuf); err == nil {
@@ -119,6 +156,12 @@ func TestRunLeaderboardFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-run", "T1", "-quick", "-json", "x.json"}, &out, &errBuf); err == nil {
 		t.Error("-json without -leaderboard accepted")
+	}
+	if err := run([]string{"-leaderboard", "-quick", "-shards", "0"}, &out, &errBuf); err == nil {
+		t.Error("-shards 0 accepted")
+	}
+	if err := run([]string{"-run", "T1", "-quick", "-shards", "2"}, &out, &errBuf); err == nil {
+		t.Error("-shards without -leaderboard accepted")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"scholarrank/internal/cliutil"
+	"scholarrank/internal/corpus"
 )
 
 func TestRunStdoutJSONL(t *testing.T) {
@@ -79,6 +80,54 @@ func TestRunStats(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "nodes=150") {
 		t.Errorf("stats output = %q", errBuf.String())
+	}
+}
+
+func TestRunShardedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.scorm")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-n", "300", "-seed", "5", "-emit-corpus", path, "-shards", "3", "-stats"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "sharded corpus: 3 shards") {
+		t.Errorf("stats output = %q", errBuf.String())
+	}
+	sc, err := corpus.OpenShardedSCORP(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if sc.NumShards() != 3 {
+		t.Fatalf("shards = %d", sc.NumShards())
+	}
+	if err := sc.VerifyFiles(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 300 {
+		t.Errorf("assembled articles = %d", s.NumArticles())
+	}
+	// The manifest also loads through the shared corpus loader.
+	via, err := cliutil.LoadCorpus(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.NumArticles() != 300 || via.NumCitations() != s.NumCitations() {
+		t.Errorf("LoadCorpus scorm: %d/%d", via.NumArticles(), via.NumCitations())
+	}
+}
+
+func TestRunShardsFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-n", "100", "-shards", "2"}, &out, &errBuf); err == nil {
+		t.Error("-shards without -emit-corpus accepted")
+	}
+	if err := run([]string{"-n", "100", "-emit-corpus", filepath.Join(t.TempDir(), "c.scorm"), "-shards", "0"}, &out, &errBuf); err == nil {
+		t.Error("-shards 0 accepted")
 	}
 }
 

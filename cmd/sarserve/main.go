@@ -94,6 +94,7 @@ func main() {
 		format      = flag.String("format", "", "corpus format override (with -in)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "solver worker threads (0 = all CPUs)")
+		shards      = flag.Int("shards", 1, "solve damped walks over this many edge-balanced shards with boundary-mass exchange (one shared worker pool)")
 		scorerName  = flag.String("scorer", "", "registered ranking scorer for every (re-)solve (empty = default pipeline)")
 		scores      = flag.String("scores", "", "ranking snapshot to boot from (skips the initial solve)")
 		spool       = flag.String("spool", "", "directory watched for JSONL delta files")
@@ -160,6 +161,10 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	if *shards < 1 {
+		fatal("bad -shards", "shards", *shards)
+	}
+	opts.Shards = *shards
 	if *scorerName != "" {
 		if _, ok := core.ScorerDoc(*scorerName); !ok {
 			fatal("unknown -scorer", "scorer", *scorerName, "registered", core.ScorerNames())

@@ -29,6 +29,10 @@ const (
 	FormatBinary = "bin"
 	// FormatSCORP is the columnar zero-parse corpus format.
 	FormatSCORP = "scorp"
+	// FormatSCORM is the multi-shard SCORP manifest: a .scorm file
+	// naming per-shard .scorp files beside it (read-only here; write
+	// sharded layouts with sargen -shards).
+	FormatSCORM = "scorm"
 	// FormatAMiner is the AMiner citation-dataset JSON-lines schema
 	// (read-only; select explicitly with -format aminer).
 	FormatAMiner = "aminer"
@@ -41,7 +45,7 @@ const (
 func DetectFormat(path, explicit string) (string, error) {
 	if explicit != "" {
 		switch explicit {
-		case FormatJSONL, FormatTSV, FormatBinary, FormatSCORP, FormatAMiner:
+		case FormatJSONL, FormatTSV, FormatBinary, FormatSCORP, FormatSCORM, FormatAMiner:
 			return explicit, nil
 		}
 		return "", fmt.Errorf("%w: %q", ErrUnknownFormat, explicit)
@@ -55,6 +59,8 @@ func DetectFormat(path, explicit string) (string, error) {
 		return FormatBinary, nil
 	case ".scorp":
 		return FormatSCORP, nil
+	case ".scorm":
+		return FormatSCORM, nil
 	}
 	return "", fmt.Errorf("%w: cannot infer from %q (use -format)", ErrUnknownFormat, path)
 }
@@ -65,6 +71,19 @@ func LoadCorpus(path, format string) (*corpus.Store, error) {
 	format, err := DetectFormat(path, format)
 	if err != nil {
 		return nil, err
+	}
+	if format == FormatSCORM {
+		// A manifest names sibling shard files, so it is loaded by
+		// path, not as a byte stream (and never gzipped).
+		if strings.HasSuffix(strings.ToLower(path), ".gz") {
+			return nil, fmt.Errorf("%w: scorm manifests cannot be gzipped", ErrUnknownFormat)
+		}
+		sc, err := corpus.OpenShardedSCORP(path)
+		if err != nil {
+			return nil, err
+		}
+		defer sc.Close()
+		return sc.Assemble()
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -89,6 +108,9 @@ func SaveCorpus(path, format string, s *corpus.Store) error {
 	format, err := DetectFormat(path, format)
 	if err != nil {
 		return err
+	}
+	if format == FormatSCORM {
+		return fmt.Errorf("%w: write sharded layouts with sargen -shards", ErrUnknownFormat)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -130,6 +152,8 @@ func ReadCorpus(r io.Reader, format string) (*corpus.Store, error) {
 	case FormatAMiner:
 		s, _, _, err := corpus.ReadAMinerJSON(r)
 		return s, err
+	case FormatSCORM:
+		return nil, fmt.Errorf("%w: scorm manifests reference sibling files and must be loaded by path (LoadCorpus)", ErrUnknownFormat)
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownFormat, format)
 }

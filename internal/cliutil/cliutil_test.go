@@ -82,6 +82,42 @@ func TestLoadCorpusRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLoadCorpusSCORM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.scorm")
+	if _, err := corpus.WriteShardedSCORP(path, tinyStore(t), []int32{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DetectFormat(path, ""); err != nil || got != FormatSCORM {
+		t.Fatalf("DetectFormat = %q, %v", got, err)
+	}
+	s, err := LoadCorpus(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumArticles() != 2 || s.NumCitations() != 1 {
+		t.Errorf("assembled %d articles %d citations", s.NumArticles(), s.NumCitations())
+	}
+	if _, ok := s.ArticleByKey("a"); !ok {
+		t.Error("assembled store lost article a")
+	}
+	// Manifests are read-only and path-based: the stream reader and
+	// both write paths must refuse them.
+	if err := SaveCorpus(filepath.Join(dir, "out.scorm"), "", tinyStore(t)); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("SaveCorpus scorm: %v", err)
+	}
+	var sb strings.Builder
+	if err := WriteCorpus(&sb, tinyStore(t), FormatSCORM); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("WriteCorpus scorm: %v", err)
+	}
+	if _, err := ReadCorpus(strings.NewReader(""), FormatSCORM); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("ReadCorpus scorm: %v", err)
+	}
+	if _, err := LoadCorpus(path+".gz", ""); err == nil {
+		t.Error("gzipped scorm accepted")
+	}
+}
+
 func TestGzipRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "c.jsonl.gz")

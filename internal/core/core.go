@@ -135,6 +135,21 @@ type Options struct {
 	// Iter controls convergence of both iterative stages.
 	Iter sparse.IterOptions
 
+	// Shards selects the sharded solve path: the citation graph is cut
+	// into this many edge-balanced contiguous row ranges (internal/shard)
+	// and both iterative stages sweep shard by shard with boundary-mass
+	// exchange at the barriers. Values < 2 select the single-operator
+	// path. The fixed point is unchanged — sharding only trades sweep
+	// count (the default sequential schedule propagates mass a whole
+	// citation chain per sweep) against per-sweep exchange overhead.
+	Shards int
+	// ShardJacobi selects the barrier-synchronous exchange schedule for
+	// sharded solves: every shard reads the previous iterate, which
+	// reproduces the unsharded trajectory sweep for sweep (a debugging
+	// and validation mode). The default (false) is the sequential
+	// descending Gauss–Seidel schedule, which converges in fewer sweeps.
+	ShardJacobi bool
+
 	// AitkenEvery sets the cadence of Aitken Δ² extrapolation in the
 	// prestige walk: every AitkenEvery plain sweeps the solver attempts
 	// a vector-extrapolated jump, keeping it only when it shrinks the
@@ -265,6 +280,9 @@ func (o Options) validate() error {
 	if o.HeteroRelTol < 0 || o.HeteroRelTol >= 1 || math.IsNaN(o.HeteroRelTol) {
 		return fmt.Errorf("%w: HeteroRelTol %v, want [0, 1)", ErrBadOptions, o.HeteroRelTol)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: Shards %d, want >= 0", ErrBadOptions, o.Shards)
+	}
 	return nil
 }
 
@@ -364,6 +382,13 @@ type Scores struct {
 	// of the two iterative stages.
 	PrestigeStats sparse.IterStats
 	HeteroStats   sparse.IterStats
+	// Shards is the effective shard count the iterative stages ran
+	// with (1 for an unsharded solve, or when the scorer has no
+	// iterative stage); ShardEdges holds each shard's pull-sweep edge
+	// count (intra + cross) from the partition plan, nil when
+	// unsharded.
+	Shards     int
+	ShardEdges []int64
 	// Pool summarises the solver worker pool's occupancy over the
 	// engine's lifetime (parallelism, kernel sweeps, chunk tasks).
 	Pool sparse.PoolStats

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"scholarrank/internal/hetnet"
+	"scholarrank/internal/shard"
 	"scholarrank/internal/sparse"
 )
 
@@ -188,6 +189,27 @@ func (ctx *SolveContext) CitationTransition() *sparse.Transition {
 // exp(-rho·gap), cached per distinct rho (solver space).
 func (ctx *SolveContext) GapTransition(rho float64) (*sparse.Transition, error) {
 	return ctx.eng.gapTransition(rho, ctx.pool)
+}
+
+// ShardPlan returns the engine's cached edge-balanced partition for
+// the configured shard count, or nil when the solve is unsharded
+// (Options.Shards < 2).
+func (ctx *SolveContext) ShardPlan() (*shard.Plan, error) {
+	if ctx.opts.Shards < 2 {
+		return nil, nil
+	}
+	return ctx.eng.shardPlan(ctx.opts.Shards)
+}
+
+// Sharded returns t's cached sharded decomposition over the
+// configured partition, or nil when the solve is unsharded. Scorers
+// with iterative stages route their sweeps through it when non-nil;
+// the fixed point matches the single-operator solve either way.
+func (ctx *SolveContext) Sharded(t *sparse.Transition) (*sparse.ShardedTransition, error) {
+	if ctx.opts.Shards < 2 {
+		return nil, nil
+	}
+	return ctx.eng.sharded(t, ctx.opts.Shards)
 }
 
 // IterFor returns the iteration options for one solver phase, with

@@ -69,6 +69,10 @@ func (qisaScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	shardedGap, err := ctx.Sharded(gapTrans)
+	if err != nil {
+		return nil, err
+	}
 	initPrestige, err := ctx.WarmStart(prestigeWarmKey(opts.RhoGap), opts.InitialScores.prestige())
 	if err != nil {
 		return nil, fmt.Errorf("core: prestige warm start: %w", err)
@@ -77,7 +81,7 @@ func (qisaScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: hetero warm start: %w", err)
 	}
-	rawSolver, pStats, err := computePrestige(ctx.View(), opts, gapTrans, initPrestige)
+	rawSolver, pStats, err := computePrestige(ctx.View(), opts, gapTrans, shardedGap, initPrestige)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +92,12 @@ func (qisaScorer) Score(ctx *SolveContext) ([]float64, error) {
 		return nil, err
 	}
 	popularity := computePopularity(ctx.Network(), opts)
-	heteroSolver, hStats, err := computeHetero(ctx.View(), opts, ctx.CitationTransition(), ctx.Pool(), initHetero)
+	citTrans := ctx.CitationTransition()
+	shardedCit, err := ctx.Sharded(citTrans)
+	if err != nil {
+		return nil, err
+	}
+	heteroSolver, hStats, err := computeHetero(ctx.View(), opts, citTrans, shardedCit, ctx.Pool(), initHetero)
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +107,36 @@ func (qisaScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.SetComponents(&Scores{
+	sc := &Scores{
 		Prestige:      prestige,
 		Popularity:    popularity,
 		Hetero:        hetero,
 		RawPrestige:   rawPrestige,
 		PrestigeStats: pStats,
 		HeteroStats:   hStats,
-	})
+	}
+	if err := stampShards(ctx, sc); err != nil {
+		return nil, err
+	}
+	ctx.SetComponents(sc)
 	return importance, nil
+}
+
+// stampShards records the effective shard layout on a result whose
+// scorer ran iterative stages: the plan's shard count and per-shard
+// edge totals, or the single-operator defaults when unsharded.
+func stampShards(ctx *SolveContext, sc *Scores) error {
+	plan, err := ctx.ShardPlan()
+	if err != nil {
+		return err
+	}
+	if plan == nil {
+		sc.Shards = 1
+		return nil
+	}
+	sc.Shards = plan.Shards()
+	sc.ShardEdges = plan.EdgeCounts()
+	return nil
 }
 
 // prestigeScorer runs the first stage alone. Importance is the faded
@@ -122,11 +152,15 @@ func (prestigeScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	sharded, err := ctx.Sharded(gapTrans)
+	if err != nil {
+		return nil, err
+	}
 	init, err := ctx.WarmStart(prestigeWarmKey(opts.RhoGap), opts.InitialScores.prestige())
 	if err != nil {
 		return nil, fmt.Errorf("core: prestige warm start: %w", err)
 	}
-	rawSolver, stats, err := computePrestige(ctx.View(), opts, gapTrans, init)
+	rawSolver, stats, err := computePrestige(ctx.View(), opts, gapTrans, sharded, init)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +170,15 @@ func (prestigeScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.SetComponents(&Scores{
+	sc := &Scores{
 		Prestige:      prestige,
 		RawPrestige:   rawPrestige,
 		PrestigeStats: stats,
-	})
+	}
+	if err := stampShards(ctx, sc); err != nil {
+		return nil, err
+	}
+	ctx.SetComponents(sc)
 	return prestige, nil
 }
 
@@ -168,12 +206,21 @@ func (heteroScorer) Score(ctx *SolveContext) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: hetero warm start: %w", err)
 	}
-	heteroSolver, stats, err := computeHetero(ctx.View(), opts, ctx.CitationTransition(), ctx.Pool(), init)
+	citTrans := ctx.CitationTransition()
+	sharded, err := ctx.Sharded(citTrans)
+	if err != nil {
+		return nil, err
+	}
+	heteroSolver, stats, err := computeHetero(ctx.View(), opts, citTrans, sharded, ctx.Pool(), init)
 	if err != nil {
 		return nil, err
 	}
 	ctx.KeepWarm(heteroWarmKey, heteroSolver)
 	hetero := ctx.Restore(heteroSolver)
-	ctx.SetComponents(&Scores{Hetero: hetero, HeteroStats: stats})
+	sc := &Scores{Hetero: hetero, HeteroStats: stats}
+	if err := stampShards(ctx, sc); err != nil {
+		return nil, err
+	}
+	ctx.SetComponents(sc)
 	return hetero, nil
 }

@@ -21,8 +21,10 @@ import (
 // are likewise solver-ordered: the caller unmaps them. The returned
 // scores are the raw walk result, before prestige fading. Aitken Δ²
 // extrapolation runs at the cadence opts.AitkenEvery (resolved by
-// effective()).
-func computePrestige(view *hetnet.SolverView, opts Options, gapTrans *sparse.Transition, init []float64) ([]float64, sparse.IterStats, error) {
+// effective()). A non-nil sharded decomposition of gapTrans routes
+// the walk through the per-shard sweep with boundary-mass exchange;
+// the fixed point is unchanged.
+func computePrestige(view *hetnet.SolverView, opts Options, gapTrans *sparse.Transition, sharded *sparse.ShardedTransition, init []float64) ([]float64, sparse.IterStats, error) {
 	recency, err := temporal.NewExponential(opts.RhoRecency)
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: prestige: %w", err)
@@ -34,7 +36,15 @@ func computePrestige(view *hetnet.SolverView, opts Options, gapTrans *sparse.Tra
 	}
 	it := opts.iterFor(PhasePrestige)
 	it.AitkenEvery = opts.AitkenEvery
-	scores, stats, err := sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, it)
+	var (
+		scores []float64
+		stats  sparse.IterStats
+	)
+	if sharded != nil {
+		scores, stats, err = sparse.ShardedDampedWalkFrom(sharded, opts.Damping, teleport, init, it, !opts.ShardJacobi)
+	} else {
+		scores, stats, err = sparse.DampedWalkFrom(gapTrans, opts.Damping, teleport, init, it)
+	}
 	if err != nil {
 		return nil, sparse.IterStats{}, fmt.Errorf("core: prestige: %w", err)
 	}
@@ -180,7 +190,13 @@ func computePopularity(net *hetnet.Network, opts Options) []float64 {
 // article ids, and the returned vector is solver-ordered. The
 // opts.HeteroRelTol schedule (when set) relaxes the stopping
 // tolerance relative to the first iteration's residual.
-func computeHetero(view *hetnet.SolverView, opts Options, t *sparse.Transition, pool *sparse.Pool, init []float64) ([]float64, sparse.IterStats, error) {
+//
+// A non-nil sharded decomposition of t replaces the fused BlendStep
+// with the per-shard BlendSweep: the citation mat-vec and its
+// boundary exchange run shard by shard, while the author/venue layer
+// coupling stays barrier-synchronous (gathered from src before the
+// sweep) under either schedule — the fixed point is unchanged.
+func computeHetero(view *hetnet.SolverView, opts Options, t *sparse.Transition, sharded *sparse.ShardedTransition, pool *sparse.Pool, init []float64) ([]float64, sparse.IterStats, error) {
 	n := view.NumArticles()
 	recency, err := temporal.NewExponential(opts.RhoRecency)
 	if err != nil {
@@ -205,25 +221,54 @@ func computeHetero(view *hetnet.SolverView, opts Options, t *sparse.Transition, 
 		init = make([]float64, n)
 		sparse.Uniform(init)
 	}
-	dm := t.DanglingMass(init) // seeds the pipelined dangling mass
-	step := func(dst, src []float64) float64 {
-		var aLeak, vLeak float64
-		if opts.LambdaAuthor > 0 {
-			aLeak = view.GatherArticlesToAuthorsScaledPar(pool, authors, src)
+	var step func(dst, src []float64) float64
+	var exchBefore uint64
+	if sharded != nil {
+		exchBefore = sharded.Exchanges()
+		dang := make([]float64, sharded.NumShards())
+		sharded.SeedDangling(init, dang)
+		step = func(dst, src []float64) float64 {
+			var aLeak, vLeak float64
+			if opts.LambdaAuthor > 0 {
+				aLeak = view.GatherArticlesToAuthorsScaledPar(pool, authors, src)
+			}
+			if opts.LambdaVenue > 0 {
+				vLeak = view.GatherArticlesToVenuesScaledPar(pool, venues, src)
+			}
+			sum := sharded.BlendSweep(dst, src, r, authorLayer, venueLayer,
+				opts.LambdaCite, opts.LambdaAuthor, opts.LambdaVenue, opts.LambdaTime,
+				aLeak, vLeak, !opts.ShardJacobi, dang)
+			inv := 1.0
+			if sum != 0 && !math.IsNaN(sum) && !math.IsInf(sum, 0) {
+				inv = 1 / sum
+			}
+			res := t.ScaleDiffStep(dst, src, inv)
+			for s := range dang {
+				dang[s] *= inv
+			}
+			return res
 		}
-		if opts.LambdaVenue > 0 {
-			vLeak = view.GatherArticlesToVenuesScaledPar(pool, venues, src)
+	} else {
+		dm := t.DanglingMass(init) // seeds the pipelined dangling mass
+		step = func(dst, src []float64) float64 {
+			var aLeak, vLeak float64
+			if opts.LambdaAuthor > 0 {
+				aLeak = view.GatherArticlesToAuthorsScaledPar(pool, authors, src)
+			}
+			if opts.LambdaVenue > 0 {
+				vLeak = view.GatherArticlesToVenuesScaledPar(pool, venues, src)
+			}
+			sum, dangNext := t.BlendStep(dst, src, r, authorLayer, venueLayer,
+				opts.LambdaCite, opts.LambdaAuthor, opts.LambdaVenue, opts.LambdaTime,
+				dm, aLeak, vLeak)
+			inv := 1.0
+			if sum != 0 && !math.IsNaN(sum) && !math.IsInf(sum, 0) {
+				inv = 1 / sum
+			}
+			res := t.ScaleDiffStep(dst, src, inv)
+			dm = dangNext * inv
+			return res
 		}
-		sum, dangNext := t.BlendStep(dst, src, r, authorLayer, venueLayer,
-			opts.LambdaCite, opts.LambdaAuthor, opts.LambdaVenue, opts.LambdaTime,
-			dm, aLeak, vLeak)
-		inv := 1.0
-		if sum != 0 && !math.IsNaN(sum) && !math.IsInf(sum, 0) {
-			inv = 1 / sum
-		}
-		res := t.ScaleDiffStep(dst, src, inv)
-		dm = dangNext * inv
-		return res
 	}
 	it := opts.iterFor(PhaseHetero)
 	if opts.HeteroRelTol > 0 {
@@ -232,6 +277,9 @@ func computeHetero(view *hetnet.SolverView, opts Options, t *sparse.Transition, 
 	scores, stats, err := sparse.FixedPointResidual(init, step, it)
 	if err != nil {
 		return nil, sparse.IterStats{}, err
+	}
+	if sharded != nil {
+		stats.Exchanges = int(sharded.Exchanges() - exchBefore)
 	}
 	return scores, stats, nil
 }

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -92,6 +93,58 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if _, err := ReadBinary(&out); err != nil {
 			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzParseShardManifest drives the SCORM manifest parser: arbitrary
+// bytes must yield a valid manifest or an error, never a panic, and
+// any manifest that parses must re-encode and re-parse to the same
+// structure.
+func FuzzParseShardManifest(f *testing.F) {
+	valid, err := EncodeShardManifest(&ShardManifest{
+		TotalArticles: 10, TotalAuthors: 3, TotalVenues: 2, TotalCitations: 17,
+		Shards: []ShardEntry{
+			{Lo: 0, Hi: 4, Size: 512, CRC: 0x11111111, File: "c-0000.scorp"},
+			{Lo: 4, Hi: 10, Size: 768, CRC: 0x22222222, File: "c-0001.scorp"},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Truncated mid-entry.
+	f.Add(valid[:len(valid)-20])
+	// Shard-count field disagrees with the entries present.
+	countMismatch := append([]byte(nil), valid...)
+	countMismatch[len(scormMagic)+3] = 5
+	f.Add(countMismatch)
+	// Manifest checksum corrupted.
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0xff
+	f.Add(crcFlip)
+	// Entry body corrupted under the original checksum — the shape a
+	// CRC-corrupt shard file's stale manifest entry takes.
+	entryFlip := append([]byte(nil), valid...)
+	entryFlip[scormHeaderLen+scormTotalsLen+8] ^= 0xff
+	f.Add(entryFlip)
+	f.Add([]byte(scormMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		m, err := ParseShardManifest(input)
+		if err != nil {
+			return
+		}
+		out, err := EncodeShardManifest(m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		m2, err := ParseShardManifest(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(m2, m) {
+			t.Fatalf("round trip changed the manifest:\n got %+v\nwant %+v", m2, m)
 		}
 	})
 }

@@ -165,10 +165,26 @@ func WriteSCORP(w io.Writer, s *Store) error {
 // from the CRCs); versions 1–2 pack payloads back to back — kept so
 // compatibility tests and fuzz seeds can produce legacy images.
 func writeSCORP(w io.Writer, s *Store, version byte) error {
+	return writeSCORPExtra(w, s, version, nil, nil)
+}
+
+// writeSCORPExtra encodes the store with additional sections appended
+// after the standard ones, in extraOrder. Extra tags ride the normal
+// section table — aligned, CRC'd, and ignored by readers that do not
+// know them — which is how the multi-shard layout embeds its shard
+// descriptor and cross-reference sections in otherwise ordinary SCORP
+// files.
+func writeSCORPExtra(w io.Writer, s *Store, version byte, extraOrder []string, extra map[string][]byte) error {
 	sections := scorpSections(s)
 	order := scorpSectionOrder
 	if _, ok := sections["perm"]; ok {
 		order = append(append([]string(nil), order...), "perm")
+	}
+	if len(extraOrder) > 0 {
+		order = append(append([]string(nil), order...), extraOrder...)
+		for _, tag := range extraOrder {
+			sections[tag] = extra[tag]
+		}
 	}
 	header := make([]byte, 0, scorpHeaderLen+len(order)*scorpEntryLen)
 	header = append(header, scorpMagic...)
@@ -374,6 +390,16 @@ func DecodeSCORP(data []byte) (*Store, error) {
 // exactly-sized column, so peak memory is one section plus the store
 // itself rather than two copies of the whole file.
 func ReadSCORPAt(r io.ReaderAt, size int64) (*Store, error) {
+	tab, err := readSCORPTable(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStore(&fileSource{r: r, tab: tab})
+}
+
+// readSCORPTable reads and parses the header and section table from a
+// random-access reader of the given total size.
+func readSCORPTable(r io.ReaderAt, size int64) (*scorpTable, error) {
 	hdr := make([]byte, scorpHeaderLen)
 	if size < int64(scorpHeaderLen) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCorpus)
@@ -392,11 +418,7 @@ func ReadSCORPAt(r io.ReaderAt, size int64) (*Store, error) {
 		}
 		hdr = table
 	}
-	tab, err := parseSCORPTable(hdr, uint64(size))
-	if err != nil {
-		return nil, err
-	}
-	return decodeStore(&fileSource{r: r, tab: tab})
+	return parseSCORPTable(hdr, uint64(size))
 }
 
 // decodeStore materialises a heap-backed Store from a section source,

@@ -87,6 +87,9 @@ type IterStats struct {
 	// rate, net of the sweeps wasted on rejected trials. It is an
 	// estimate for observability, not an exact count.
 	IterationsSaved int
+	// Exchanges counts the boundary-mass exchanges (per-shard inbox
+	// fills) a sharded solve performed; zero for unsharded drivers.
+	Exchanges int
 }
 
 // StepFunc computes one fixed-point step: given the current vector

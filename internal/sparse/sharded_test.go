@@ -1,0 +1,320 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"scholarrank/internal/graph"
+	"scholarrank/internal/shard"
+)
+
+// benchWorkersFromEnv honours QISA_BENCH_WORKERS for the shard-curve
+// benchmark (default 1 so the scaling numbers are comparable across
+// machines unless deliberately scaled). The pool it sizes is shared
+// across every shard — the QISA_BENCH_WORKERS contract for the
+// sharded path.
+func benchWorkersFromEnv() int {
+	if v := os.Getenv("QISA_BENCH_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+func TestBenchWorkersFromEnv(t *testing.T) {
+	t.Setenv("QISA_BENCH_WORKERS", "")
+	if got := benchWorkersFromEnv(); got != 1 {
+		t.Fatalf("default workers %d, want 1", got)
+	}
+	t.Setenv("QISA_BENCH_WORKERS", "3")
+	if got := benchWorkersFromEnv(); got != 3 {
+		t.Fatalf("workers %d, want 3 from QISA_BENCH_WORKERS", got)
+	}
+	t.Setenv("QISA_BENCH_WORKERS", "banana")
+	if got := benchWorkersFromEnv(); got != 1 {
+		t.Fatalf("workers %d, want fallback 1 on a bad value", got)
+	}
+}
+
+// evenBounds splits n rows into k equal-size contiguous shards — the
+// sparse-level tests don't need the edge-balanced partitioner, any
+// valid bounds must give the same fixed point.
+func evenBounds(n, k int) []int32 {
+	bounds := make([]int32, k+1)
+	for s := 0; s <= k; s++ {
+		bounds[s] = int32(n * s / k)
+	}
+	return bounds
+}
+
+func TestNewShardedTransitionValidates(t *testing.T) {
+	g := benchGraph(t, 100)
+	tr := NewTransition(g, nil)
+	for _, bounds := range [][]int32{
+		nil,
+		{0},
+		{0, 50},          // does not reach n
+		{10, 100},        // does not start at 0
+		{0, 50, 50, 100}, // empty shard
+		{0, 60, 40, 100}, // decreasing
+	} {
+		if _, err := NewShardedTransition(tr, bounds); err == nil {
+			t.Errorf("bounds %v: want error", bounds)
+		}
+	}
+	if _, err := NewShardedTransition(tr, []int32{0, 100}); err != nil {
+		t.Errorf("single shard: %v", err)
+	}
+}
+
+// TestShardedSweepMatchesDampedStep pins the barrier-synchronous
+// sharded sweep to the unsharded fused kernel on one iteration — the
+// exchange decomposition must reproduce DampedStep up to float
+// association.
+func TestShardedSweepMatchesDampedStep(t *testing.T) {
+	g := benchGraphPowerLaw(t, 4000)
+	tr := NewTransition(g, nil)
+	n := tr.N()
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	Normalize1(src)
+	teleport := make([]float64, n)
+	Uniform(teleport)
+	const damping = 0.85
+
+	want := make([]float64, n)
+	dm := tr.DanglingMass(src)
+	wantRes, _, _ := tr.DampedStep(want, src, teleport, damping, dm)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		st, err := NewShardedTransition(tr, evenBounds(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dang := make([]float64, k)
+		st.SeedDangling(src, dang)
+		got := make([]float64, n)
+		res := st.DampedSweep(got, src, teleport, damping, false, dang)
+		for v := range got {
+			if d := math.Abs(got[v] - want[v]); d > 1e-14 {
+				t.Fatalf("k=%d row %d: sharded %g vs fused %g (diff %g)", k, v, got[v], want[v], d)
+			}
+		}
+		if d := math.Abs(res - wantRes); d > 1e-10 {
+			t.Fatalf("k=%d: residual %g vs %g", k, res, wantRes)
+		}
+		var wantDang float64
+		for _, u := range tr.dangling {
+			wantDang += got[u]
+		}
+		var gotDang float64
+		for _, d := range dang {
+			gotDang += d
+		}
+		if d := math.Abs(gotDang - wantDang); d > 1e-13 {
+			t.Fatalf("k=%d: pipelined dangling %g vs scan %g", k, gotDang, wantDang)
+		}
+	}
+}
+
+// TestShardedWalkMatchesUnsharded drives both exchange schedules to a
+// tight tolerance and checks the fixed point against DampedWalk.
+func TestShardedWalkMatchesUnsharded(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random", benchGraph(t, 3000)},
+		{"powerlaw", benchGraphPowerLaw(t, 3000)},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			tr := NewTransition(build.g, nil)
+			n := tr.N()
+			teleport := make([]float64, n)
+			Uniform(teleport)
+			opts := IterOptions{Tol: 1e-13, MaxIter: 500}
+			want, wantStats, err := DampedWalk(tr, 0.85, teleport, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !wantStats.Converged {
+				t.Fatal("unsharded walk did not converge")
+			}
+			for _, k := range []int{1, 2, 4, 8} {
+				for _, sequential := range []bool{false, true} {
+					st, err := NewShardedTransition(tr, evenBounds(n, k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, stats, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, opts, sequential)
+					if err != nil {
+						t.Fatalf("k=%d seq=%v: %v", k, sequential, err)
+					}
+					if !stats.Converged {
+						t.Fatalf("k=%d seq=%v: did not converge", k, sequential)
+					}
+					if d := L1Diff(got, want); d > 1e-11 {
+						t.Errorf("k=%d seq=%v: L1 distance to unsharded fixed point %g", k, sequential, d)
+					}
+					if wantEx := stats.Iterations * k; stats.Exchanges != wantEx {
+						t.Errorf("k=%d seq=%v: %d exchanges over %d iterations, want %d",
+							k, sequential, stats.Exchanges, stats.Iterations, wantEx)
+					}
+					if sequential && k > 1 && stats.Iterations >= wantStats.Iterations+5 {
+						t.Errorf("k=%d sequential took %d iterations, unsharded %d — Gauss–Seidel should not be slower",
+							k, stats.Iterations, wantStats.Iterations)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedWalkJacobiTrajectory pins the barrier-synchronous
+// schedule to the unsharded driver iteration for iteration at default
+// tolerance: same sweep count, same result to float-association
+// noise.
+func TestShardedWalkJacobiTrajectory(t *testing.T) {
+	g := benchGraphPowerLaw(t, 3000)
+	tr := NewTransition(g, nil)
+	n := tr.N()
+	teleport := make([]float64, n)
+	Uniform(teleport)
+	want, wantStats, err := DampedWalk(tr, 0.85, teleport, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewShardedTransition(tr, evenBounds(n, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, IterOptions{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations != wantStats.Iterations {
+		t.Fatalf("jacobi schedule took %d iterations, unsharded %d", stats.Iterations, wantStats.Iterations)
+	}
+	if d := L1Diff(got, want); d > 1e-12 {
+		t.Fatalf("jacobi fixed point differs by %g", d)
+	}
+}
+
+// TestShardedWalkAitken checks extrapolation composes with the
+// sequential schedule: same fixed point, reseed keeps the dangling
+// pipeline consistent.
+func TestShardedWalkAitken(t *testing.T) {
+	g := benchGraphPowerLaw(t, 3000)
+	tr := NewTransition(g, nil)
+	n := tr.N()
+	teleport := make([]float64, n)
+	Uniform(teleport)
+	opts := IterOptions{Tol: 1e-12, MaxIter: 500}
+	want, _, err := DampedWalk(tr, 0.85, teleport, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewShardedTransition(tr, evenBounds(n, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aOpts := opts
+	aOpts.AitkenEvery = 4
+	got, stats, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, aOpts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("extrapolated sharded walk did not converge")
+	}
+	if d := L1Diff(got, want); d > 1e-10 {
+		t.Fatalf("extrapolated sharded fixed point differs by %g", d)
+	}
+}
+
+// TestShardedSolveSharesWorkerPool is the regression test for the
+// worker-pool contract: a sharded solve must run every shard on the
+// one pool of the underlying operator — pool occupancy grows, and no
+// kernel spawns shard-private pools (the sweep count is attributed to
+// the shared pool).
+func TestShardedSolveSharesWorkerPool(t *testing.T) {
+	g := benchGraphPowerLaw(t, 20000)
+	pool := NewPool(2)
+	defer pool.Close()
+	tr := NewTransition(g, pool)
+	st, err := NewShardedTransition(tr, evenBounds(tr.N(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	teleport := make([]float64, tr.N())
+	Uniform(teleport)
+	before := pool.Stats()
+	if _, _, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, IterOptions{}, true); err != nil {
+		t.Fatal(err)
+	}
+	after := pool.Stats()
+	if after.Workers != 2 {
+		t.Fatalf("pool workers %d, want 2", after.Workers)
+	}
+	if after.Runs <= before.Runs {
+		t.Fatalf("sharded solve did not run on the shared pool (runs %d -> %d)", before.Runs, after.Runs)
+	}
+	// Swapping the pool on the underlying operator must propagate to
+	// the sharded kernels (the engine resizes pools between solves).
+	tr.SetPool(nil)
+	if _, _, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, IterOptions{}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Runs; got != after.Runs {
+		t.Fatalf("kernels still using the old pool after SetPool(nil): runs %d -> %d", after.Runs, got)
+	}
+}
+
+func BenchmarkShardedWalkPowerLaw100k(b *testing.B) {
+	size := 100_000
+	g := benchGraphPowerLaw(b, size)
+	g, _ = Reorder(g)
+	pool := NewPool(benchWorkersFromEnv())
+	defer pool.Close()
+	tr := NewTransition(g, pool)
+	teleport := make([]float64, tr.N())
+	Uniform(teleport)
+	// Plain sweeps at every shard count (no extrapolation), so the
+	// curve isolates the exchange schedule's effect. Bounds come from
+	// the edge-balanced partitioner — with power-law in-degrees,
+	// equal-row shards would pile every edge into the hub shard and
+	// collapse the Gauss–Seidel coupling the curve measures.
+	opts := IterOptions{}
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			plan, err := shard.Partition(g, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := NewShardedTransition(tr, plan.Bounds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x, stats, err := ShardedDampedWalkFrom(st, 0.85, teleport, teleport, opts, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !stats.Converged {
+					b.Fatalf("did not converge in %d iterations", stats.Iterations)
+				}
+				_ = x
+			}
+		})
+	}
+}
